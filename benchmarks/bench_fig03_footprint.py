@@ -1,0 +1,11 @@
+"""Regenerates Fig. 3: ResNet-50 per-layer footprints."""
+from repro.experiments import fig03_footprint
+
+
+def test_fig03_regeneration(once):
+    res = once(fig03_footprint.run)
+    sizes = [s.inter_layer_bytes for s in res["layers"]]
+    assert sizes == sorted(sizes, reverse=True)
+    assert res["reusable_fraction"] < 0.15  # paper: 9.3%
+    # the big early layers are tens of MB at N=32 (Fig. 3's y-axis)
+    assert sizes[0] > 50 * 2**20

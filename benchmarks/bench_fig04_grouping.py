@@ -1,0 +1,14 @@
+"""Regenerates Fig. 4 / Fig. 5: MBS grouping for ResNet-50."""
+from repro.experiments import fig04_grouping
+
+
+def test_fig04_regeneration(once):
+    res = once(fig04_grouping.run)
+    groups = res["groups"]
+    # Fig. 5 structure: a handful of groups, iterations decreasing,
+    # sub-batches growing with depth
+    assert 3 <= len(groups) <= 8
+    iters = [g["iterations"] for g in groups]
+    assert iters == sorted(iters, reverse=True)
+    subs = [g["sub_batch"] for g in groups]
+    assert subs == sorted(subs)

@@ -1,0 +1,17 @@
+"""Regenerates Fig. 6 (reduced size): BN vs GN+MBS vs no-norm training."""
+from repro.experiments import fig06_normalization
+
+
+def test_fig06_regeneration(once):
+    res = once(
+        fig06_normalization.run,
+        epochs=4, train_samples=384, val_samples=128,
+    )
+    curves = res["curves"]
+    # BN and GN+MBS both learn; un-normalized training lags badly
+    assert curves["BN"].final_val_error < 0.3
+    assert curves["GN+MBS"].final_val_error < 0.3
+    assert curves["no-norm"].final_val_error > 0.5
+    # gradient equivalence: exact for GN, broken for BN
+    assert res["gradient_equivalence"]["GN"] < 1e-10
+    assert res["gradient_equivalence"]["BN"] > 1e-4

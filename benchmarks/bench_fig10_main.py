@@ -1,0 +1,19 @@
+"""Regenerates Fig. 10: the full 6-network × 6-configuration grid."""
+from repro.experiments import fig10_main
+
+
+def test_fig10_regeneration(once):
+    res = once(fig10_main.run)
+    grid = res["grid"]
+    assert set(grid) == {
+        "resnet50", "resnet101", "resnet152",
+        "inception_v3", "inception_v4", "alexnet",
+    }
+    for net, cells in grid.items():
+        assert set(cells) == set(res["policies"])
+        # Fig. 10a ordering holds for every network
+        assert cells["mbs2"]["time_s"] < cells["baseline"]["time_s"]
+    # Fig. 10c: deep-CNN traffic ladder
+    r50 = grid["resnet50"]
+    assert r50["mbs2"]["dram_bytes"] < r50["mbs1"]["dram_bytes"] \
+        < r50["mbs-fs"]["dram_bytes"] < r50["baseline"]["dram_bytes"]

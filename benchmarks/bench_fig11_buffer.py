@@ -1,0 +1,14 @@
+"""Regenerates Fig. 11: buffer-size sensitivity for ResNet-50."""
+from repro.experiments import fig11_buffer_sweep
+
+
+def test_fig11_regeneration(once):
+    res = once(fig11_buffer_sweep.run)
+    norm = res["normalized"]
+    # paper's punchline: MBS2@5MiB beats IL@40MiB on both axes
+    assert norm[("mbs2", 5)]["time"] < norm[("il", 40)]["time"]
+    assert norm[("mbs2", 5)]["traffic"] < norm[("il", 40)]["traffic"]
+    # MBS is flat across buffer sizes; IL is not
+    mbs_range = [norm[("mbs2", b)]["time"] for b in (5, 10, 20, 30, 40)]
+    il_range = [norm[("il", b)]["time"] for b in (5, 10, 20, 30, 40)]
+    assert max(mbs_range) - min(mbs_range) < il_range[0] - il_range[-1] + 0.2

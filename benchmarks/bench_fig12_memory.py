@@ -1,0 +1,13 @@
+"""Regenerates Fig. 12: memory-type sensitivity with layer breakdown."""
+from repro.experiments import fig12_memory_types
+
+
+def test_fig12_regeneration(once):
+    res = once(fig12_memory_types.run)
+    speedup = res["speedup"]
+    # cheap LPDDR4 under MBS2 still beats the HBM2x2 conventional design
+    assert speedup[("mbs2", "LPDDR4")] > speedup[("baseline", "HBM2x2")]
+    # bandwidth sensitivity ordering: baseline degrades most
+    base_drop = speedup[("baseline", "HBM2x2")] / speedup[("baseline", "LPDDR4")]
+    mbs_drop = speedup[("mbs2", "HBM2x2")] / speedup[("mbs2", "LPDDR4")]
+    assert base_drop > mbs_drop

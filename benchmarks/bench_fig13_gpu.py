@@ -1,0 +1,12 @@
+"""Regenerates Fig. 13: V100 vs WaveCore+MBS2."""
+from repro.experiments import fig13_gpu_comparison
+
+
+def test_fig13_regeneration(once):
+    res = once(fig13_gpu_comparison.run)
+    for net, row in res["rows"].items():
+        for mem, speedup in row["speedup"].items():
+            assert speedup > 1.0, (net, mem)
+    # the gap widens with ResNet depth (paper Sec. 6)
+    lp = {n: res["rows"][n]["speedup"]["LPDDR4"] for n in res["rows"]}
+    assert lp["resnet50"] < lp["resnet152"]

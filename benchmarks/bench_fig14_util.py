@@ -1,0 +1,13 @@
+"""Regenerates Fig. 14: systolic utilization (unlimited bandwidth)."""
+import pytest
+
+from repro.experiments import fig14_utilization
+
+
+def test_fig14_regeneration(once):
+    res = once(fig14_utilization.run)
+    avg = res["average"]
+    assert avg["baseline"] == pytest.approx(0.538, abs=0.06)
+    assert avg["archopt"] == pytest.approx(0.815, abs=0.06)
+    assert avg["mbs-fs"] == pytest.approx(0.667, abs=0.06)
+    assert avg["mbs1"] == pytest.approx(0.786, abs=0.06)

@@ -1,0 +1,91 @@
+"""Micro-benchmarks for the library's hot paths (statistical timing)."""
+import numpy as np
+import pytest
+
+from repro.core.grouping import GroupingProblem, exhaustive_grouping, greedy_grouping
+from repro.core.policies import make_schedule
+from repro.core.traffic import compute_traffic
+from repro.nn import functional as F
+from repro.systolic import run_gemm
+from repro.wavecore.config import DEFAULT_CONFIG
+from repro.wavecore.gemm import GemmDims
+from repro.wavecore.simulator import simulate_step
+from repro.wavecore.tiling import gemm_cycles
+from repro.zoo import resnet50
+
+
+@pytest.fixture(scope="module")
+def rn50():
+    return resnet50()
+
+
+def test_bench_schedule_construction(benchmark, rn50):
+    sched = benchmark(make_schedule, rn50, "mbs2")
+    assert sched.num_blocks == len(rn50.blocks)
+
+
+def test_bench_traffic_model(benchmark, rn50):
+    sched = make_schedule(rn50, "mbs2")
+    rep = benchmark(compute_traffic, rn50, sched)
+    assert rep.total_bytes > 0
+
+
+def test_bench_full_step_simulation(benchmark, rn50):
+    sched = make_schedule(rn50, "mbs2")
+    rep = benchmark(simulate_step, rn50, sched)
+    assert rep.time_s > 0
+
+
+def test_bench_gemm_cycle_model(benchmark):
+    dims = GemmDims(100352, 64, 576)
+    t = benchmark(gemm_cycles, dims, DEFAULT_CONFIG)
+    assert t.cycles > 0
+
+
+def test_bench_greedy_grouping(benchmark):
+    rng = np.random.default_rng(0)
+    problem = GroupingProblem(
+        feasible=tuple(int(x) for x in rng.integers(1, 32, 60)),
+        weight_bytes=tuple(int(x) for x in rng.integers(10**3, 10**7, 60)),
+        out_bytes=tuple(int(x) for x in rng.integers(10**3, 10**6, 60)),
+        mini_batch=32,
+    )
+    groups = benchmark(greedy_grouping, problem)
+    assert groups
+
+
+def test_bench_exhaustive_grouping(benchmark):
+    rng = np.random.default_rng(0)
+    problem = GroupingProblem(
+        feasible=tuple(int(x) for x in rng.integers(1, 32, 60)),
+        weight_bytes=tuple(int(x) for x in rng.integers(10**3, 10**7, 60)),
+        out_bytes=tuple(int(x) for x in rng.integers(10**3, 10**6, 60)),
+        mini_batch=32,
+    )
+    groups = benchmark(exhaustive_grouping, problem)
+    assert groups
+
+
+def test_bench_conv2d_forward(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(8, 16, 32, 32)).astype(np.float32)
+    w = rng.normal(size=(32, 16, 3, 3)).astype(np.float32)
+    y = benchmark(F.conv2d_forward, x, w, None, 1, 1)
+    assert y.shape == (8, 32, 32, 32)
+
+
+def test_bench_conv2d_backward(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(8, 16, 32, 32)).astype(np.float32)
+    w = rng.normal(size=(32, 16, 3, 3)).astype(np.float32)
+    dy = rng.normal(size=(8, 32, 32, 32)).astype(np.float32)
+    dx, dw, _ = benchmark(F.conv2d_backward, x, w, dy, 1, 1, False)
+    assert dx.shape == x.shape
+
+
+def test_bench_functional_systolic(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(64, 24))
+    b = rng.normal(size=(24, 16))
+    run = benchmark(run_gemm, a, b, 8, 8, 16, True)
+    np.testing.assert_allclose(run.result, a @ b)

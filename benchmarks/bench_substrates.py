@@ -1,0 +1,68 @@
+"""Benchmarks for the supporting substrates (occupancy, scaling, NN step)."""
+import numpy as np
+import pytest
+
+from repro.core.occupancy import peak_occupancy, validate_schedule_occupancy
+from repro.core.policies import make_schedule
+from repro.nn import NetworkModel, compute_gradients, mbs_gradients
+from repro.wavecore.scaling import weak_scaling
+from repro.wavecore.timeline import build_timeline
+from repro.zoo import resnet50, toy_residual
+
+
+@pytest.fixture(scope="module")
+def rn50():
+    return resnet50()
+
+
+def test_bench_occupancy_validation(benchmark, rn50):
+    sched = make_schedule(rn50, "mbs2")
+    violations = benchmark(validate_schedule_occupancy, rn50, sched)
+    assert violations == []
+
+
+def test_bench_block_occupancy(benchmark, rn50):
+    block = rn50.block_named("conv3_1")
+    peak = benchmark(peak_occupancy, block, 4, True)
+    assert peak > 0
+
+
+def test_bench_weak_scaling(benchmark, rn50):
+    points = benchmark(weak_scaling, rn50, "mbs2", (1, 2, 4, 8, 16, 32))
+    assert points[-1].scaling_efficiency > 0.9
+
+
+def test_bench_timeline(benchmark, rn50):
+    sched = make_schedule(rn50, "mbs2")
+    segments = benchmark(build_timeline, rn50, sched)
+    assert segments
+
+
+def test_bench_nn_training_step_full(benchmark):
+    net = toy_residual()
+    model = NetworkModel(net, seed=0, dtype=np.float32)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(16, 3, 32, 32)).astype(np.float32)
+    y = rng.integers(0, 8, 16)
+
+    def step():
+        model.zero_grads()
+        return compute_gradients(model, x, y)
+
+    stats = benchmark(step)
+    assert stats.samples == 16
+
+
+def test_bench_nn_training_step_mbs(benchmark):
+    net = toy_residual()
+    model = NetworkModel(net, seed=0, dtype=np.float32)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(16, 3, 32, 32)).astype(np.float32)
+    y = rng.integers(0, 8, 16)
+
+    def step():
+        model.zero_grads()
+        return mbs_gradients(model, x, y, sub_batch=4)
+
+    stats = benchmark(step)
+    assert stats.samples == 16

@@ -1,0 +1,11 @@
+"""Regenerates Tab. 2: area/power estimate."""
+import pytest
+
+from repro.experiments import tab02_area
+
+
+def test_tab02_regeneration(once):
+    res = once(tab02_area.run)
+    assert res["area"].total_mm2 == pytest.approx(534.0, abs=1.0)
+    assert res["tops_fp16"] == pytest.approx(45.9, abs=1.0)
+    assert 40 < res["power_w"] < 80  # paper: 56 W (see DESIGN.md calibration)

@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Each paper table/figure has one benchmark that regenerates it end to end
+(timed with a single round — these are full experiment sweeps), plus
+micro-benchmarks for the hot kernels (traffic model, cycle model,
+grouping optimizer, conv kernels) that run with normal statistics.
+"""
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,41 @@
+"""Quickstart: schedule ResNet-50 training with MBS and simulate WaveCore.
+
+Run:  python examples/quickstart.py
+"""
+from repro.core import compute_traffic, make_schedule
+from repro.types import MIB
+from repro.wavecore import simulate_step
+from repro.wavecore.config import config_for_policy
+from repro.zoo import resnet50
+
+
+def main() -> None:
+    net = resnet50()
+    print(f"network: {net.name}  params={net.param_count:,}  "
+          f"blocks={len(net)}  mini-batch={net.default_mini_batch}/core")
+
+    # 1. build the MBS2 schedule for a 10 MiB on-chip buffer
+    sched = make_schedule(net, "mbs2", buffer_bytes=10 * MIB)
+    print("\n" + sched.describe())
+
+    # 2. compare DRAM traffic against conventional training
+    base = compute_traffic(net, make_schedule(net, "baseline"))
+    mbs = compute_traffic(net, sched)
+    print(f"\nDRAM traffic/step: baseline={base.total_bytes / 2**30:.2f} GiB "
+          f"-> MBS2={mbs.total_bytes / 2**30:.2f} GiB "
+          f"({base.total_bytes / mbs.total_bytes:.1f}x reduction)")
+
+    # 3. simulate a full training step on the WaveCore accelerator
+    rep_base = simulate_step(net, make_schedule(net, "baseline"),
+                             config_for_policy("baseline"))
+    rep_mbs = simulate_step(net, sched, config_for_policy("mbs2"))
+    print(f"\nWaveCore step time: baseline={rep_base.time_s * 1e3:.1f} ms "
+          f"-> MBS2={rep_mbs.time_s * 1e3:.1f} ms "
+          f"({rep_base.time_s / rep_mbs.time_s:.2f}x speedup)")
+    print(f"energy/step: baseline={rep_base.energy.total_j:.2f} J "
+          f"-> MBS2={rep_mbs.energy.total_j:.2f} J")
+    print(f"systolic utilization: {rep_mbs.utilization * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""MBS training numerics: sub-batch serialization does not change training.
+
+Demonstrates the paper's Sec. 3/3.1 claims end to end on the NumPy
+substrate:
+
+1. with group normalization, MBS sub-batch gradient accumulation matches
+   the full-mini-batch gradients to machine precision — for *any*
+   sub-batch size;
+2. with batch normalization it does not (hence the GN adaptation);
+3. training a model with the MBS executor follows the exact same loss
+   trajectory as conventional training.
+
+Run:  python examples/training_equivalence.py
+"""
+import numpy as np
+
+from repro.graph.layers import NormKind
+from repro.nn import (
+    NetworkModel,
+    compute_gradients,
+    mbs_gradients,
+    synthetic_dataset,
+    train,
+)
+from repro.zoo import toy_residual
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(12, 3, 32, 32))
+    y = rng.integers(0, 8, 12)
+
+    print("1) gradient equivalence, GN, all sub-batch sizes:")
+    net = toy_residual(norm=NormKind.GROUP)
+    for sub in (1, 2, 3, 5, 12):
+        full = NetworkModel(net, seed=4)
+        mbs = NetworkModel(net, seed=4)
+        full.zero_grads()
+        compute_gradients(full, x, y)
+        mbs.zero_grads()
+        mbs_gradients(mbs, x, y, sub_batch=sub)
+        diff = np.max(np.abs(full.gradient_vector() - mbs.gradient_vector()))
+        print(f"   sub-batch={sub:2d}: max |grad diff| = {diff:.2e}")
+
+    print("\n2) the same probe with batch normalization:")
+    net_bn = toy_residual(norm=NormKind.BATCH)
+    full = NetworkModel(net_bn, seed=4)
+    mbs = NetworkModel(net_bn, seed=4)
+    full.zero_grads()
+    compute_gradients(full, x, y)
+    mbs.zero_grads()
+    mbs_gradients(mbs, x, y, sub_batch=4)
+    diff = np.max(np.abs(full.gradient_vector() - mbs.gradient_vector()))
+    print(f"   sub-batch=4 : max |grad diff| = {diff:.2e}  "
+          "(BN statistics couple the mini-batch)")
+
+    print("\n3) training trajectories, conventional vs MBS executor:")
+    data = synthetic_dataset(train=256, val=128, seed=1)
+    net = toy_residual(norm=NormKind.GROUP)
+    conv = train(NetworkModel(net, seed=6), data, epochs=3, batch=16,
+                 label="conventional", seed=42)
+    mbs = train(NetworkModel(net, seed=6), data, epochs=3, batch=16,
+                sub_batch=4, label="mbs", seed=42)
+    for e, (a, b) in enumerate(zip(conv.train_loss, mbs.train_loss)):
+        print(f"   epoch {e}: loss conventional={a:.6f}  mbs={b:.6f}  "
+              f"val err {conv.val_error[e]:.3f} / {mbs.val_error[e]:.3f}")
+    print("   (identical trajectories — serialization is invisible to "
+          "the optimizer)")
+
+
+if __name__ == "__main__":
+    main()

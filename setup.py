@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The primary build configuration lives in pyproject.toml.  This file exists
+so that environments without the ``wheel`` package (where PEP 660 editable
+installs cannot build) can still do ``python setup.py develop`` /
+``pip install -e . --no-build-isolation``.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""MBS: Mini-batch Serialization for CNN training — paper reproduction.
+
+Reproduces Lym et al., "Mini-batch Serialization: CNN Training with
+Inter-layer Data Reuse" (SysML/MLSys 2019).  The public API surfaces the
+four things a user does:
+
+* build or define a network — :mod:`repro.zoo`, :mod:`repro.graph`;
+* schedule it — :func:`repro.core.make_schedule` and
+  :func:`repro.core.compute_traffic`;
+* simulate the WaveCore accelerator — :func:`repro.wavecore.simulate_step`;
+* verify/re-run the training numerics — :mod:`repro.nn`.
+
+See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+results on every table and figure.
+"""
+from repro.core import compute_traffic, make_schedule
+from repro.types import GIB, KIB, MIB, Shape
+from repro.wavecore import simulate_step
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GIB",
+    "KIB",
+    "MIB",
+    "Shape",
+    "__version__",
+    "compute_traffic",
+    "make_schedule",
+    "simulate_step",
+]

@@ -1,0 +1,28 @@
+"""MBS scheduler: the paper's primary contribution.
+
+Pipeline: per-block per-sample space (Eq. 1 / Eq. 2) → feasible sub-batch
+sizes → layer grouping (greedy merge or exhaustive DP) → schedule →
+DRAM/global-buffer traffic accounting.
+"""
+from repro.core.footprint import block_space_per_sample
+from repro.core.grouping import exhaustive_grouping, greedy_grouping, initial_grouping
+from repro.core.policies import POLICIES, make_schedule
+from repro.core.schedule import GroupPlan, Schedule
+from repro.core.subbatch import feasible_sub_batch, iteration_count
+from repro.core.traffic import TrafficOptions, TrafficReport, compute_traffic
+
+__all__ = [
+    "GroupPlan",
+    "POLICIES",
+    "Schedule",
+    "TrafficOptions",
+    "TrafficReport",
+    "block_space_per_sample",
+    "compute_traffic",
+    "exhaustive_grouping",
+    "feasible_sub_batch",
+    "greedy_grouping",
+    "initial_grouping",
+    "iteration_count",
+    "make_schedule",
+]

@@ -1,0 +1,140 @@
+"""Layer grouping: balancing intra-layer weight reuse with inter-layer
+activation reuse (paper Sec. 3, "Layer Grouping Optimizes Reuse").
+
+The cost model scores a partition of the block sequence into contiguous
+groups by the traffic components that actually depend on the grouping:
+
+* weight streaming — a group iterating ``I`` times reads every member
+  weight ``I`` times in forward and ``I`` times for the backward data
+  gradient, and touches the weight-gradient partial sums ``2I − 1`` times
+  (``I`` writes, ``I − 1`` re-reads);
+* group boundaries — an off-chip boundary costs one forward re-read of
+  the boundary tensor plus a backward gradient write and read
+  (the forward *write* is free: the tensor is checkpointed for back
+  propagation regardless).
+
+Greedy merging starts from groups of equal iteration count (the paper's
+initial grouping) and repeatedly applies the best cost-reducing merge of
+adjacent groups.  ``exhaustive_grouping`` solves the same objective
+optimally with an O(n²) dynamic program (the paper's footnote 1 reports
+the gap at roughly 1 %).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import ceil_div
+
+
+@dataclass(frozen=True)
+class GroupingProblem:
+    """Arrays describing one network for the grouping optimizer.
+
+    ``feasible[i]``   — max sub-batch of block *i* (>= 1; unfusable blocks
+                        must be split out by the caller before grouping);
+    ``weight_bytes[i]`` — trainable parameter bytes of block *i*;
+    ``out_bytes[i]``  — per-sample bytes of block *i*'s output tensor;
+    ``mini_batch``    — samples per training step.
+    """
+
+    feasible: tuple[int, ...]
+    weight_bytes: tuple[int, ...]
+    out_bytes: tuple[int, ...]
+    mini_batch: int
+
+    def __post_init__(self) -> None:
+        n = len(self.feasible)
+        if not (len(self.weight_bytes) == len(self.out_bytes) == n):
+            raise ValueError("problem arrays must have equal length")
+        if any(s <= 0 for s in self.feasible):
+            raise ValueError("all blocks must admit a sub-batch of at least 1")
+
+    def iterations(self, start: int, end: int) -> int:
+        """Iteration count if blocks ``start..end`` (inclusive) form a group."""
+        s = min(self.feasible[start : end + 1])
+        return ceil_div(self.mini_batch, s)
+
+    def group_cost(self, start: int, end: int) -> float:
+        """Weight-streaming cost of one candidate group."""
+        iters = self.iterations(start, end)
+        weights = sum(self.weight_bytes[start : end + 1])
+        return weights * (4 * iters - 1)
+
+    def boundary_cost(self, idx: int) -> float:
+        """Cost of an off-chip boundary after block ``idx``."""
+        if idx >= len(self.out_bytes) - 1:
+            return 0.0  # the network output is not an inter-group boundary
+        return 3.0 * self.mini_batch * self.out_bytes[idx]
+
+    def partition_cost(self, groups: list[tuple[int, int]]) -> float:
+        total = 0.0
+        for start, end in groups:
+            total += self.group_cost(start, end)
+            total += self.boundary_cost(end)
+        if groups:
+            total -= self.boundary_cost(groups[-1][1])  # final output
+        return total
+
+
+def initial_grouping(problem: GroupingProblem) -> list[tuple[int, int]]:
+    """Group adjacent blocks that need the same iteration count (Fig. 4)."""
+    n = len(problem.feasible)
+    groups: list[tuple[int, int]] = []
+    start = 0
+    for i in range(1, n):
+        if problem.iterations(i, i) != problem.iterations(start, start):
+            groups.append((start, i - 1))
+            start = i
+    groups.append((start, n - 1))
+    return groups
+
+
+def greedy_grouping(problem: GroupingProblem) -> list[tuple[int, int]]:
+    """Greedy merge of adjacent groups while total cost decreases."""
+    groups = initial_grouping(problem)
+    while len(groups) > 1:
+        best_gain = 0.0
+        best_idx = -1
+        for i in range(len(groups) - 1):
+            s0, e0 = groups[i]
+            s1, e1 = groups[i + 1]
+            before = (
+                problem.group_cost(s0, e0)
+                + problem.group_cost(s1, e1)
+                + problem.boundary_cost(e0)
+            )
+            after = problem.group_cost(s0, e1)
+            gain = before - after
+            if gain > best_gain:
+                best_gain = gain
+                best_idx = i
+        if best_idx < 0:
+            break
+        s0, _ = groups[best_idx]
+        _, e1 = groups[best_idx + 1]
+        groups[best_idx : best_idx + 2] = [(s0, e1)]
+    return groups
+
+
+def exhaustive_grouping(problem: GroupingProblem) -> list[tuple[int, int]]:
+    """Optimal contiguous partition under the same cost model (O(n²) DP)."""
+    n = len(problem.feasible)
+    best = [0.0] * (n + 1)  # best[j] = min cost of covering blocks 0..j-1
+    choice = [0] * (n + 1)
+    for j in range(1, n + 1):
+        best[j] = float("inf")
+        for i in range(j):
+            cost = best[i] + problem.group_cost(i, j - 1)
+            if j - 1 < n - 1:
+                cost += problem.boundary_cost(j - 1)
+            if cost < best[j]:
+                best[j] = cost
+                choice[j] = i
+    groups: list[tuple[int, int]] = []
+    j = n
+    while j > 0:
+        i = choice[j]
+        groups.append((i, j - 1))
+        j = i
+    groups.reverse()
+    return groups

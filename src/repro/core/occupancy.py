@@ -1,0 +1,279 @@
+"""Operational buffer-occupancy simulation: executable MBS semantics.
+
+While :mod:`repro.core.footprint` computes the Eq. 1 / Eq. 2 *provision*
+analytically, this module actually executes a block's dataflow for a
+sub-batch — allocating tensors into a simulated on-chip buffer, freeing
+them at their last use, honoring the retention rules (shared block input
+until every branch consumed it, accumulating/reserved merge outputs) —
+and reports the peak occupancy.  Tests pin the analytic provision as an
+upper bound on the executed peak, closing the loop on the space model.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.blocks import Block, Branch, MergeKind
+from repro.graph.layers import Layer, LayerKind
+from repro.types import WORD_BYTES
+
+
+@dataclass
+class BufferSim:
+    """Tracks live tensors and the peak footprint of an execution."""
+
+    live: dict[str, int] = field(default_factory=dict)
+    peak: int = 0
+    trace: list[tuple[str, str, int]] = field(default_factory=list)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(self.live.values())
+
+    def alloc(self, name: str, nbytes: int) -> None:
+        if name in self.live:
+            raise RuntimeError(f"double allocation of {name}")
+        self.live[name] = nbytes
+        self.peak = max(self.peak, self.occupancy)
+        self.trace.append(("alloc", name, nbytes))
+
+    def free(self, name: str) -> None:
+        if name not in self.live:
+            raise RuntimeError(f"freeing unknown tensor {name}")
+        self.trace.append(("free", name, self.live.pop(name)))
+
+    def rename(self, old: str, new: str) -> None:
+        """In-place op: the output reuses the input's storage."""
+        self.live[new] = self.live.pop(old)
+        self.trace.append(("rename", old, self.live[new]))
+
+
+def _run_chain(
+    sim: BufferSim,
+    layers: list[Layer],
+    input_name: str,
+    keep_input: bool,
+    sub_batch: int,
+    wb: int,
+    stream_last_into: str | None = None,
+) -> str:
+    """Execute a layer chain; returns the name of the output tensor.
+
+    ``keep_input`` prevents freeing the chain's input tensor (it is still
+    needed by other consumers — the Eq. 1/2 retention).
+    ``stream_last_into`` makes the final layer write directly into an
+    existing target (the ADD accumulator, the reserved CONCAT output, or
+    DRAM) instead of allocating its own output — how MBS fuses the merge
+    with the producing layer.
+    """
+    current = input_name
+    for i, layer in enumerate(layers):
+        out_name = f"{layer.name}.out"
+        is_last = i == len(layers) - 1
+        if is_last and stream_last_into is not None:
+            if current != input_name or not keep_input:
+                sim.free(current)
+            return stream_last_into
+        if layer.kind is LayerKind.ACT:
+            # in-place: output aliases input
+            if current == input_name and keep_input:
+                # cannot destroy a retained tensor; take a copy
+                sim.alloc(out_name, layer.out_shape.bytes(wb) * sub_batch)
+            else:
+                sim.rename(current, out_name)
+            current = out_name
+            continue
+        sim.alloc(out_name, layer.out_shape.bytes(wb) * sub_batch)
+        if current != input_name or not keep_input:
+            sim.free(current)
+        current = out_name
+    return current
+
+
+def simulate_block_occupancy(
+    block: Block,
+    sub_batch: int,
+    branch_reuse: bool = True,
+    word_bytes: int = WORD_BYTES,
+) -> BufferSim:
+    """Execute one block for one sub-batch and return the buffer trace.
+
+    With ``branch_reuse=True`` the shared block input stays resident
+    until every branch consumed it, the ADD accumulator is carried across
+    branches, and the CONCAT output is reserved up front (Eq. 1/Eq. 2).
+    With ``branch_reuse=False`` (the MBS1 flow) the shared input and the
+    pre-merge leaves spill to DRAM between branches: consumers re-fetch
+    fresh copies and the concatenated output is assembled off chip.
+    """
+    wb = word_bytes
+    sim = BufferSim()
+    in_name = f"{block.name}.in"
+    in_bytes = block.in_shape.bytes(wb) * sub_batch
+    sim.alloc(in_name, in_bytes)
+
+    if not block.is_module:
+        _run_chain(sim, list(block.branches[0].layers), in_name,
+                   keep_input=False, sub_batch=sub_batch, wb=wb)
+        return sim
+
+    non_identity = [b for b in block.branches if not b.is_identity]
+    has_identity = any(b.is_identity for b in block.branches)
+    merged_bytes = block.merged_shape.bytes(wb) * sub_batch
+    is_add = block.merge is MergeKind.ADD
+
+    if block.merge is MergeKind.CONCAT and branch_reuse:
+        # Eq. 2: the concatenated output is reserved throughout; leaves
+        # stream into their slice of it.
+        sim.alloc(f"{block.name}.out", merged_bytes)
+
+    merge_acc: str | None = None
+    spilled_leaves: list[int] = []  # byte sizes of MBS1 pre-merge spills
+    reserved_out = f"{block.name}.out"
+    dram = "__dram__"
+
+    def leaf_target() -> str | None:
+        """Where a finished leaf chain streams its final layer."""
+        if is_add:
+            if branch_reuse:
+                return merge_acc  # None for the first leaf: it becomes acc
+            return dram  # MBS1 spills pre-merge leaves
+        return reserved_out if branch_reuse else dram
+
+    def finish_leaf(leaf: str, leaf_bytes: int) -> None:
+        nonlocal merge_acc
+        if leaf == dram:
+            spilled_leaves.append(leaf_bytes)
+            return
+        if leaf in (reserved_out, merge_acc) and leaf is not None:
+            return  # streamed into an existing target
+        if is_add and branch_reuse and merge_acc is None:
+            merge_acc = f"{block.name}.acc"
+            sim.rename(leaf, merge_acc)
+            return
+        sim.free(leaf)  # defensive: transient leaf (not reached in zoo)
+
+    for bi, branch in enumerate(non_identity):
+        is_last_stem = branch is non_identity[-1]
+        if branch_reuse:
+            src = in_name
+            # retain the input while later consumers (other stems, or the
+            # identity path's merge) still need it
+            keep = (not is_last_stem) or has_identity
+        elif bi == 0:
+            src = in_name
+            keep = False  # first stem consumes the resident copy
+        else:
+            src = f"{in_name}.b{bi}"  # MBS1 re-fetch from DRAM
+            sim.alloc(src, in_bytes)
+            keep = False
+
+        if branch.children:
+            tail = _run_chain(sim, list(branch.layers), src, keep_input=keep,
+                              sub_batch=sub_batch, wb=wb)
+            tail_bytes = sim_bytes_of(branch, block, wb, sub_batch)
+            leaf_shapes = []
+            for child in branch.children:
+                leaf_shapes.extend(
+                    s.bytes(wb) * sub_batch
+                    for s in child.leaf_shapes(branch.tail_shape(block.in_shape))
+                )
+            li = 0
+            for ci, child in enumerate(branch.children):
+                last_child = ci == len(branch.children) - 1
+                if branch_reuse or ci == 0:
+                    child_src = tail
+                    keep_tail = not last_child and branch_reuse
+                else:
+                    child_src = f"{tail}.c{ci}"  # MBS1 fork-tail re-fetch
+                    sim.alloc(child_src, tail_bytes)
+                    keep_tail = False
+                leaf = _run_chain(sim, child.walk(), child_src,
+                                  keep_input=keep_tail,
+                                  sub_batch=sub_batch, wb=wb,
+                                  stream_last_into=leaf_target())
+                finish_leaf(leaf, leaf_shapes[li])
+                li += 1
+        else:
+            leaf_bytes = (
+                branch.leaf_shapes(block.in_shape)[0].bytes(wb) * sub_batch
+            )
+            leaf = _run_chain(sim, list(branch.layers), src, keep_input=keep,
+                              sub_batch=sub_batch, wb=wb,
+                              stream_last_into=leaf_target())
+            finish_leaf(leaf, leaf_bytes)
+
+    # ------------------------------------------------------------------
+    # merge point
+    # ------------------------------------------------------------------
+    if is_add:
+        if branch_reuse:
+            if has_identity:
+                sim.free(in_name)  # folded into the accumulator
+            current = merge_acc
+        else:
+            # MBS1: re-fetch every leaf (and the identity input) from
+            # DRAM and accumulate in place into the first one
+            names = []
+            for i, nbytes in enumerate(spilled_leaves):
+                names.append(f"{block.name}.m{i}")
+                sim.alloc(names[-1], nbytes)
+            if has_identity:
+                names.append(f"{in_name}.m")
+                sim.alloc(names[-1], in_bytes)
+            merge_acc = f"{block.name}.acc"
+            sim.rename(names[0], merge_acc)
+            for name in names[1:]:
+                sim.free(name)
+            current = merge_acc
+    else:
+        if in_name in sim.live:
+            sim.free(in_name)
+        if branch_reuse:
+            current = f"{block.name}.out"
+        else:
+            current = None  # assembled in DRAM; next block streams it
+
+    for layer in block.post_merge:
+        out_name = f"{layer.name}.out"
+        if layer.kind is LayerKind.ACT:
+            sim.rename(current, out_name)
+        else:
+            sim.alloc(out_name, layer.out_shape.bytes(wb) * sub_batch)
+            sim.free(current)
+        current = out_name
+    return sim
+
+
+def sim_bytes_of(branch: Branch, block: Block, wb: int, sub_batch: int) -> int:
+    """Byte size of a branch's fork-point (tail) tensor."""
+    return branch.tail_shape(block.in_shape).bytes(wb) * sub_batch
+
+
+def peak_occupancy(
+    block: Block,
+    sub_batch: int,
+    branch_reuse: bool = True,
+    word_bytes: int = WORD_BYTES,
+) -> int:
+    """Peak buffer bytes while executing ``block`` for one sub-batch."""
+    return simulate_block_occupancy(
+        block, sub_batch, branch_reuse, word_bytes
+    ).peak
+
+
+def validate_schedule_occupancy(net, schedule, word_bytes: int = WORD_BYTES):
+    """Check every fused block's executed peak against the buffer.
+
+    Returns a list of (block_name, peak, budget) violations — empty when
+    the schedule is operationally feasible.
+    """
+    violations = []
+    for idx, block in enumerate(net.blocks):
+        if not schedule.block_fused(idx):
+            continue
+        group = schedule.group_of_block(idx)
+        peak = peak_occupancy(
+            block, group.sub_batch, schedule.branch_reuse, word_bytes
+        )
+        if peak > schedule.buffer_bytes:
+            violations.append((block.name, peak, schedule.buffer_bytes))
+    return violations

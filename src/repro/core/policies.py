@@ -1,0 +1,150 @@
+"""Schedule construction for the paper's evaluation configurations (Tab. 3).
+
+========  ==========================================================
+Baseline  conventional layer-by-layer mini-batch propagation
+ArchOpt   identical schedule; weight double buffering is a hardware
+          property consumed by the timing model, not the scheduler
+IL        inter-layer reuse only where a whole mini-batch fits on chip
+MBS-FS    fully-serialized MBS: a single sub-batch size for all layers
+MBS1      greedy layer grouping, no inter-branch provisioning
+MBS2      MBS1 + inter-branch data reuse (Eq. 1 / Eq. 2 footprints)
+========  ==========================================================
+
+``mbs1-opt`` / ``mbs2-opt`` swap the greedy merge for the exhaustive DP
+(the paper's footnote-1 ablation).
+"""
+from __future__ import annotations
+
+from repro.core.grouping import (
+    GroupingProblem,
+    exhaustive_grouping,
+    greedy_grouping,
+)
+from repro.core.schedule import GroupPlan, Schedule, make_group
+from repro.core.subbatch import feasible_sub_batch
+from repro.graph.network import Network
+from repro.types import MIB, WORD_BYTES, ceil_div
+
+POLICIES = ("baseline", "archopt", "il", "mbs-fs", "mbs1", "mbs2",
+            "mbs1-opt", "mbs2-opt")
+
+#: Default per-core global buffer (paper Sec. 4.2).
+DEFAULT_BUFFER_BYTES = 10 * MIB
+
+
+def _segments(feasible: list[int]) -> list[tuple[int, int] | int]:
+    """Split the block sequence at unfusable blocks (feasible == 0).
+
+    Returns a mix of ``(start, end)`` fusable segments and bare ``int``
+    indices for blocks that cannot fit even one sample.
+    """
+    out: list[tuple[int, int] | int] = []
+    start: int | None = None
+    for i, s in enumerate(feasible):
+        if s <= 0:
+            if start is not None:
+                out.append((start, i - 1))
+                start = None
+            out.append(i)
+        elif start is None:
+            start = i
+    if start is not None:
+        out.append((start, len(feasible) - 1))
+    return out
+
+
+def _spilled_group(idx: int, mini_batch: int) -> GroupPlan:
+    """Singleton group that streams layer-by-layer (conventional flow)."""
+    return GroupPlan(
+        blocks=(idx,), sub_batch=0, iterations=1, block_fused=(False,)
+    )
+
+
+def make_schedule(
+    net: Network,
+    policy: str,
+    buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    mini_batch: int | None = None,
+    word_bytes: int = WORD_BYTES,
+) -> Schedule:
+    """Build the schedule for one of the paper's configurations."""
+    policy = policy.lower()
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+    n_batch = net.default_mini_batch if mini_batch is None else mini_batch
+
+    branch_reuse = policy in ("il", "mbs2", "mbs2-opt", "mbs-fs")
+    relu_mask = policy.startswith("mbs")
+
+    feasible = [
+        feasible_sub_batch(b, buffer_bytes, n_batch, branch_reuse, word_bytes)
+        for b in net.blocks
+    ]
+
+    groups: list[GroupPlan] = []
+    if policy in ("baseline", "archopt"):
+        groups = [_spilled_group(i, n_batch) for i in range(len(net.blocks))]
+    elif policy == "il":
+        # Maximal runs of blocks whose *entire mini-batch* live set fits.
+        i = 0
+        while i < len(net.blocks):
+            if feasible[i] >= n_batch:
+                j = i
+                while j + 1 < len(net.blocks) and feasible[j + 1] >= n_batch:
+                    j += 1
+                groups.append(
+                    make_group(tuple(range(i, j + 1)), n_batch, n_batch, feasible)
+                )
+                i = j + 1
+            else:
+                groups.append(_spilled_group(i, n_batch))
+                i += 1
+    elif policy == "mbs-fs":
+        fusable = [s for s in feasible if s > 0]
+        s_global = min(fusable) if fusable else 0
+        for seg in _segments(feasible):
+            if isinstance(seg, int):
+                groups.append(_spilled_group(seg, n_batch))
+            else:
+                start, end = seg
+                groups.append(
+                    make_group(
+                        tuple(range(start, end + 1)), s_global, n_batch, feasible
+                    )
+                )
+    else:  # mbs1 / mbs2 (+ -opt variants)
+        optimizer = exhaustive_grouping if policy.endswith("-opt") else greedy_grouping
+        for seg in _segments(feasible):
+            if isinstance(seg, int):
+                groups.append(_spilled_group(seg, n_batch))
+                continue
+            start, end = seg
+            problem = GroupingProblem(
+                feasible=tuple(feasible[start : end + 1]),
+                weight_bytes=tuple(
+                    sum(l.param_bytes(word_bytes) for l in b.all_layers())
+                    for b in net.blocks[start : end + 1]
+                ),
+                out_bytes=tuple(
+                    b.out_shape.bytes(word_bytes)
+                    for b in net.blocks[start : end + 1]
+                ),
+                mini_batch=n_batch,
+            )
+            for g_start, g_end in optimizer(problem):
+                lo, hi = start + g_start, start + g_end
+                s_group = min(feasible[lo : hi + 1])
+                groups.append(
+                    make_group(tuple(range(lo, hi + 1)), s_group, n_batch, feasible)
+                )
+
+    return Schedule(
+        policy=policy,
+        network=net.name,
+        mini_batch=n_batch,
+        buffer_bytes=buffer_bytes,
+        branch_reuse=branch_reuse,
+        relu_mask=relu_mask,
+        groups=tuple(groups),
+        layer_reuse_bytes=0 if policy in ("baseline", "archopt") else buffer_bytes,
+    )

@@ -1,0 +1,62 @@
+"""Sub-batch sizing: how many samples fit through a block at once."""
+from __future__ import annotations
+
+from repro.graph.blocks import Block
+from repro.graph.network import Network
+from repro.core.footprint import block_space_per_sample
+from repro.types import WORD_BYTES, ceil_div
+
+
+def feasible_sub_batch(
+    block: Block,
+    buffer_bytes: int,
+    mini_batch: int,
+    branch_reuse: bool = True,
+    word_bytes: int = WORD_BYTES,
+) -> int:
+    """Largest sub-batch whose live footprint fits the on-chip buffer.
+
+    Returns 0 when even a single sample does not fit (the block must then
+    spill layer-by-layer like the conventional flow).
+    """
+    if buffer_bytes <= 0:
+        return 0
+    space = block_space_per_sample(block, branch_reuse, word_bytes)
+    return min(mini_batch, buffer_bytes // space)
+
+
+def iteration_count(mini_batch: int, sub_batch: int) -> int:
+    """Sub-batch iterations needed to cover the mini-batch."""
+    if sub_batch <= 0:
+        # Unfused blocks stream the whole mini-batch layer-by-layer once.
+        return 1
+    return ceil_div(mini_batch, sub_batch)
+
+
+def per_block_sub_batches(
+    net: Network,
+    buffer_bytes: int,
+    mini_batch: int | None = None,
+    branch_reuse: bool = True,
+    word_bytes: int = WORD_BYTES,
+) -> list[int]:
+    """Feasible sub-batch size for every block (the red line of Fig. 4)."""
+    n = net.default_mini_batch if mini_batch is None else mini_batch
+    return [
+        feasible_sub_batch(b, buffer_bytes, n, branch_reuse, word_bytes)
+        for b in net.blocks
+    ]
+
+
+def sub_batch_sequence(mini_batch: int, sub_batch: int) -> list[int]:
+    """Actual sub-batch sizes of each iteration (e.g. 32/3 → 3,3,…,3,2).
+
+    This is the "Size = 3,3,3,3,3,3,3,3,3,3,2" annotation of Fig. 5.
+    """
+    if sub_batch <= 0:
+        return [mini_batch]
+    full, rem = divmod(mini_batch, sub_batch)
+    out = [sub_batch] * full
+    if rem:
+        out.append(rem)
+    return out

@@ -1,0 +1,41 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver exposes ``run(...)`` returning plain data structures and a
+``main(argv)`` that prints the same rows/series the paper reports.  The
+``mbs-repro`` console script (see :mod:`repro.experiments.runner`)
+dispatches to them by artifact name.
+"""
+from repro.experiments import (
+    ablation_grouping,
+    ablation_precision,
+    export,
+    fig03_footprint,
+    fig04_grouping,
+    fig06_normalization,
+    fig10_main,
+    fig11_buffer_sweep,
+    fig12_memory_types,
+    fig13_gpu_comparison,
+    fig14_utilization,
+    headline,
+    scalability,
+    tab02_area,
+)
+
+ALL_EXPERIMENTS = {
+    "fig3": fig03_footprint,
+    "fig4": fig04_grouping,
+    "fig6": fig06_normalization,
+    "fig10": fig10_main,
+    "fig11": fig11_buffer_sweep,
+    "fig12": fig12_memory_types,
+    "fig13": fig13_gpu_comparison,
+    "fig14": fig14_utilization,
+    "tab2": tab02_area,
+    "ablation": ablation_grouping,
+    "precision": ablation_precision,
+    "headline": headline,
+    "scaling": scalability,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment drivers."""
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.policies import DEFAULT_BUFFER_BYTES, make_schedule
+from repro.wavecore.config import config_for_policy
+from repro.wavecore.report import StepReport
+from repro.wavecore.simulator import simulate_step
+from repro.zoo import build
+
+
+@lru_cache(maxsize=None)
+def network(name: str):
+    return build(name)
+
+
+def evaluate(
+    net_name: str,
+    policy: str,
+    memory: str = "HBM2",
+    buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    unlimited_bandwidth: bool = False,
+) -> StepReport:
+    """Simulate one (network, Tab. 3 configuration) cell.
+
+    ``archopt`` runs the Baseline schedule on double-buffered hardware;
+    every other policy name maps 1:1 to a schedule.
+    """
+    net = network(net_name)
+    sched_policy = "baseline" if policy == "archopt" else policy
+    sched = make_schedule(net, sched_policy, buffer_bytes=buffer_bytes)
+    cfg = config_for_policy(policy, memory=memory, buffer_bytes=buffer_bytes)
+    return simulate_step(
+        net, sched, cfg, unlimited_bandwidth=unlimited_bandwidth
+    )

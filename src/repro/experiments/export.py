@@ -1,0 +1,69 @@
+"""JSON export of all experiment artifacts.
+
+``mbs-repro export results.json`` serializes every driver's ``run()``
+output so EXPERIMENTS.md numbers can be regenerated and diffed.
+"""
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any
+
+
+def _jsonify(obj: Any) -> Any:
+    """Recursively convert experiment results to JSON-compatible data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonify(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {_key(k): _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "tolist"):  # numpy scalars/arrays
+        return _jsonify(obj.tolist())
+    # schedules, reports, models: describe by repr
+    return repr(obj)
+
+
+def _key(k: Any) -> str:
+    if isinstance(k, tuple):
+        return "/".join(str(_jsonify(x)) for x in k)
+    if isinstance(k, enum.Enum):
+        return str(k.value)
+    return str(k)
+
+
+def export_all(path: str, quick: bool = True) -> dict:
+    """Run every experiment and dump the results to ``path``."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    results: dict[str, Any] = {}
+    for name, module in ALL_EXPERIMENTS.items():
+        if name == "fig6":
+            kwargs = (
+                {"epochs": 3, "train_samples": 256, "val_samples": 128}
+                if quick else {}
+            )
+            results[name] = _jsonify(module.run(**kwargs))
+        else:
+            results[name] = _jsonify(module.run())
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=1, default=repr)
+    return results
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = argv or ["results.json"]
+    results = export_all(argv[0])
+    print(f"wrote {len(results)} experiment results to {argv[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Fig. 11: ResNet-50 time and DRAM traffic vs global buffer size
+(5–40 MiB), normalized to IL at 5 MiB."""
+from __future__ import annotations
+
+from repro.experiments.common import evaluate
+from repro.experiments.tables import fmt, format_table
+from repro.types import MIB
+
+POLICIES = ("il", "mbs-fs", "mbs1", "mbs2")
+BUFFER_MIB = (5, 10, 20, 30, 40)
+
+
+def run(net_name: str = "resnet50") -> dict:
+    cells: dict[tuple[str, int], dict] = {}
+    for policy in POLICIES:
+        for buf in BUFFER_MIB:
+            rep = evaluate(net_name, policy, buffer_bytes=buf * MIB)
+            cells[(policy, buf)] = {
+                "time_s": rep.time_s,
+                "dram_bytes": rep.dram_bytes,
+            }
+    ref = cells[("il", 5)]
+    norm = {
+        k: {
+            "time": v["time_s"] / ref["time_s"],
+            "traffic": v["dram_bytes"] / ref["dram_bytes"],
+        }
+        for k, v in cells.items()
+    }
+    return {"network": net_name, "cells": cells, "normalized": norm}
+
+
+def main(argv: list[str] | None = None) -> None:
+    from repro.experiments.plots import line_plot
+
+    res = run()
+    for metric in ("time", "traffic"):
+        rows = []
+        for buf in BUFFER_MIB:
+            rows.append(
+                [f"{buf} MiB"]
+                + [fmt(res["normalized"][(p, buf)][metric]) for p in POLICIES]
+            )
+        print(format_table(
+            ["buffer"] + list(POLICIES), rows,
+            title=(
+                f"Fig. 11 — {res['network']} normalized {metric} vs global "
+                "buffer size (1.0 = IL at 5 MiB)"
+            ),
+        ))
+        print()
+        print(line_plot(
+            {
+                p: [res["normalized"][(p, b)][metric] for b in BUFFER_MIB]
+                for p in POLICIES
+            },
+            title=f"normalized {metric} across buffer sizes 5..40 MiB",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

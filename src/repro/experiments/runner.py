@@ -1,0 +1,69 @@
+"""``mbs-repro`` command-line entry point.
+
+Usage::
+
+    mbs-repro <artifact> [driver args]
+    mbs-repro all
+    mbs-repro schedule <network> [policy] [buffer MiB]
+
+Artifacts: fig3 fig4 fig6 fig10 fig11 fig12 fig13 fig14 tab2 ablation
+headline scaling.
+"""
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def _schedule_command(rest: list[str]) -> int:
+    """Inspect the MBS schedule of any zoo network from the shell."""
+    from repro.core.policies import make_schedule
+    from repro.core.traffic import compute_traffic
+    from repro.types import MIB
+    from repro.zoo import build
+
+    if not rest:
+        print("usage: mbs-repro schedule <network> [policy] [buffer MiB]")
+        return 2
+    net = build(rest[0])
+    policy = rest[1] if len(rest) > 1 else "mbs2"
+    buffer_mib = int(rest[2]) if len(rest) > 2 else 10
+    sched = make_schedule(net, policy, buffer_bytes=buffer_mib * MIB)
+    print(sched.describe())
+    rep = compute_traffic(net, sched)
+    print(f"\nDRAM traffic/step: {rep.total_bytes / 2**30:.2f} GiB")
+    for cat, nbytes in sorted(rep.by_category().items(), key=lambda kv: -kv[1]):
+        print(f"  {cat.value:18s} {nbytes / 2**20:10.1f} MiB")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    name = argv[0]
+    rest = argv[1:]
+    if name == "schedule":
+        return _schedule_command(rest)
+    if name == "export":
+        from repro.experiments.export import main as export_main
+        export_main(rest or None)
+        return 0
+    if name == "all":
+        for key, module in ALL_EXPERIMENTS.items():
+            print(f"\n{'=' * 72}\n== {key}\n{'=' * 72}")
+            args = ["--quick"] if key == "fig6" else []
+            module.main(args)
+        return 0
+    if name not in ALL_EXPERIMENTS:
+        print(f"unknown artifact {name!r}; choose from "
+              f"{' '.join(ALL_EXPERIMENTS)} or 'all'")
+        return 2
+    ALL_EXPERIMENTS[name].main(rest)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Minimal fixed-width table formatting for experiment output."""
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def mib(nbytes: float) -> str:
+    return f"{nbytes / 2**20:.1f}"
+
+
+def gib(nbytes: float) -> str:
+    return f"{nbytes / 2**30:.2f}"

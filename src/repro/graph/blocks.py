@@ -1,0 +1,180 @@
+"""Blocks: the scheduling atoms of the MBS IR.
+
+A :class:`Block` is either a single chain of layers (one branch, no merge)
+or a multi-branch module.  Branches are *trees*: a branch may fork into
+children after its own chain, which is how Inception v3/v4 modules end in
+parallel 1×3 / 3×1 tails that share a stem.  The concatenated/added block
+output and shared block input are exactly the quantities Eq. 1 and Eq. 2
+of the paper provision buffer space for.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.graph.layers import EltwiseAdd, Layer
+from repro.types import Shape
+
+
+class MergeKind(enum.Enum):
+    ADD = "add"
+    CONCAT = "concat"
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A chain of layers optionally forking into child branches at the end.
+
+    An empty branch (no layers, no children) is an identity path — the
+    ResNet shortcut without a projection.
+    """
+
+    layers: tuple[Layer, ...] = ()
+    children: tuple["Branch", ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "layers", tuple(self.layers))
+        object.__setattr__(self, "children", tuple(self.children))
+
+    def tail_shape(self, in_shape: Shape) -> Shape:
+        """Shape after this branch's own chain (before any fork)."""
+        shape = in_shape
+        for layer in self.layers:
+            if layer.in_shape != shape:
+                raise ValueError(
+                    f"branch mis-wired at {layer.name}: expected input "
+                    f"{shape}, layer declares {layer.in_shape}"
+                )
+            shape = layer.out_shape
+        return shape
+
+    def leaf_shapes(self, in_shape: Shape) -> list[Shape]:
+        """Output shapes contributed to the block merge, in order."""
+        tail = self.tail_shape(in_shape)
+        if not self.children:
+            return [tail]
+        out: list[Shape] = []
+        for child in self.children:
+            out.extend(child.leaf_shapes(tail))
+        return out
+
+    def walk(self) -> list[Layer]:
+        """All layers in execution order (own chain, then each child)."""
+        out = list(self.layers)
+        for child in self.children:
+            out.extend(child.walk())
+        return out
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.layers and not self.children
+
+
+@dataclass(frozen=True)
+class Block:
+    """One scheduling atom: a layer chain or a multi-branch module.
+
+    ``post_merge`` holds layers applied after the merge point (e.g. the
+    ReLU that follows a residual addition).
+    """
+
+    name: str
+    in_shape: Shape
+    branches: tuple[Branch, ...]
+    merge: MergeKind | None = None
+    post_merge: tuple[Layer, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "branches", tuple(self.branches))
+        object.__setattr__(self, "post_merge", tuple(self.post_merge))
+        if not self.branches:
+            raise ValueError(f"{self.name}: block needs at least one branch")
+        if len(self.branches) > 1 and self.merge is None:
+            raise ValueError(f"{self.name}: multi-branch block needs a merge kind")
+        if len(self.branches) == 1 and not self.branches[0].children and self.merge:
+            raise ValueError(f"{self.name}: single-chain block must not merge")
+        _ = self.out_shape  # validate wiring eagerly
+
+    # ------------------------------------------------------------------
+    # shapes
+    # ------------------------------------------------------------------
+    @property
+    def merged_shape(self) -> Shape:
+        """Shape right after the merge (before ``post_merge``)."""
+        leaf_lists = [b.leaf_shapes(self.in_shape) for b in self.branches]
+        leaves = [s for lst in leaf_lists for s in lst]
+        if self.merge is None:
+            if len(leaves) != 1:
+                raise ValueError(f"{self.name}: unmerged block with forked output")
+            return leaves[0]
+        if self.merge is MergeKind.ADD:
+            first = leaves[0]
+            for s in leaves[1:]:
+                if s != first:
+                    raise ValueError(
+                        f"{self.name}: ADD merge with mismatched shapes "
+                        f"{first} vs {s}"
+                    )
+            return first
+        # CONCAT: channels accumulate, spatial dims must agree.
+        first = leaves[0]
+        channels = 0
+        for s in leaves:
+            if (s.h, s.w) != (first.h, first.w):
+                raise ValueError(
+                    f"{self.name}: CONCAT merge with mismatched spatial dims "
+                    f"{first} vs {s}"
+                )
+            channels += s.c
+        return Shape(channels, first.h, first.w)
+
+    @property
+    def out_shape(self) -> Shape:
+        shape = self.merged_shape
+        for layer in self.post_merge:
+            if layer.in_shape != shape:
+                raise ValueError(
+                    f"{self.name}: post-merge mis-wired at {layer.name}: "
+                    f"expected {shape}, declared {layer.in_shape}"
+                )
+            shape = layer.out_shape
+        return shape
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @property
+    def is_module(self) -> bool:
+        """True for multi-branch blocks (residual / inception modules)."""
+        return len(self.branches) > 1 or any(b.children for b in self.branches)
+
+    @property
+    def merge_layer(self) -> EltwiseAdd | None:
+        """Synthetic element-wise layer representing an ADD merge."""
+        if self.merge is MergeKind.ADD:
+            return EltwiseAdd(name=f"{self.name}.add", in_shape=self.merged_shape)
+        return None
+
+    def all_layers(self) -> list[Layer]:
+        """Every layer in execution order, including merge and post-merge."""
+        out: list[Layer] = []
+        for branch in self.branches:
+            out.extend(branch.walk())
+        merge = self.merge_layer
+        if merge is not None:
+            out.append(merge)
+        out.extend(self.post_merge)
+        return out
+
+    @property
+    def param_count(self) -> int:
+        return sum(l.param_count for l in self.all_layers())
+
+    @property
+    def macs_per_sample(self) -> int:
+        return sum(l.macs_per_sample for l in self.all_layers())
+
+
+def chain_block(name: str, in_shape: Shape, layers: list[Layer]) -> Block:
+    """Convenience constructor for a single-chain block."""
+    return Block(name=name, in_shape=in_shape, branches=(Branch(tuple(layers)),))

@@ -1,0 +1,238 @@
+"""Layer specifications.
+
+Layers are immutable descriptions — they carry shapes and hyper-parameters
+but no weights.  (Trainable numerics live in :mod:`repro.nn`.)  Shape
+inference happens at construction: every layer knows its input shape and
+derives its output shape, so a mis-wired network fails loudly when built.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.graph import shapes as _shapes
+from repro.types import WORD_BYTES, Shape
+
+
+class LayerKind(enum.Enum):
+    """Classification used by the scheduler and the timing model."""
+
+    CONV = "conv"
+    FC = "fc"
+    NORM = "norm"
+    ACT = "act"
+    POOL = "pool"
+    ADD = "add"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class for all layer specs."""
+
+    name: str
+    in_shape: Shape
+
+    @property
+    def kind(self) -> LayerKind:
+        raise NotImplementedError
+
+    @property
+    def out_shape(self) -> Shape:
+        raise NotImplementedError
+
+    @property
+    def param_count(self) -> int:
+        """Number of trainable scalars."""
+        return 0
+
+    def param_bytes(self, word_bytes: int = WORD_BYTES) -> int:
+        return self.param_count * word_bytes
+
+    @property
+    def macs_per_sample(self) -> int:
+        """Multiply-accumulate operations per sample (forward pass)."""
+        return 0
+
+    @property
+    def is_systolic(self) -> bool:
+        """True when the layer maps to the systolic array (conv / FC)."""
+        return self.kind in (LayerKind.CONV, LayerKind.FC)
+
+
+def _pair(v: int | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(v, int):
+        return (v, v)
+    return (int(v[0]), int(v[1]))
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """2-D convolution (no bias — networks in the zoo follow the usual
+    conv/norm pairing where the norm layer supplies the affine terms)."""
+
+    out_channels: int = 0
+    kernel: tuple[int, int] = (1, 1)
+    stride: tuple[int, int] = (1, 1)
+    padding: tuple[int, int] = (0, 0)
+    bias: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel", _pair(self.kernel))
+        object.__setattr__(self, "stride", _pair(self.stride))
+        object.__setattr__(self, "padding", _pair(self.padding))
+        if self.out_channels <= 0:
+            raise ValueError(f"{self.name}: out_channels must be positive")
+        # Validate eagerly so construction of a bad layer raises here.
+        _ = self.out_shape
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONV
+
+    @property
+    def out_shape(self) -> Shape:
+        return _shapes.conv_out_shape(
+            self.in_shape, self.out_channels, self.kernel, self.stride, self.padding
+        )
+
+    @property
+    def param_count(self) -> int:
+        w = self.out_channels * self.in_shape.c * self.kernel[0] * self.kernel[1]
+        return w + (self.out_channels if self.bias else 0)
+
+    @property
+    def macs_per_sample(self) -> int:
+        o = self.out_shape
+        return o.c * o.h * o.w * self.in_shape.c * self.kernel[0] * self.kernel[1]
+
+
+@dataclass(frozen=True)
+class FullyConnected(Layer):
+    """Dense layer; the input is flattened (``in_shape.elems`` features)."""
+
+    out_features: int = 0
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ValueError(f"{self.name}: out_features must be positive")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.FC
+
+    @property
+    def out_shape(self) -> Shape:
+        return Shape(self.out_features, 1, 1)
+
+    @property
+    def param_count(self) -> int:
+        return self.in_shape.elems * self.out_features + (
+            self.out_features if self.bias else 0
+        )
+
+    @property
+    def macs_per_sample(self) -> int:
+        return self.in_shape.elems * self.out_features
+
+
+class NormKind(enum.Enum):
+    BATCH = "batch"
+    GROUP = "group"
+
+
+@dataclass(frozen=True)
+class Norm(Layer):
+    """Feature normalization.
+
+    ``BATCH`` normalizes across the mini-batch (incompatible with MBS);
+    ``GROUP`` normalizes across channel groups within a sample (the
+    adaptation MBS uses, Sec. 3.1).  Both carry a per-channel scale and
+    shift, so their parameter footprint is identical.
+    """
+
+    norm: NormKind = NormKind.GROUP
+    groups: int = 32
+
+    def __post_init__(self) -> None:
+        if self.norm is NormKind.GROUP:
+            if self.groups <= 0:
+                raise ValueError(f"{self.name}: groups must be positive")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.NORM
+
+    @property
+    def out_shape(self) -> Shape:
+        return self.in_shape
+
+    @property
+    def param_count(self) -> int:
+        return 2 * self.in_shape.c
+
+
+@dataclass(frozen=True)
+class Activation(Layer):
+    """Element-wise activation (ReLU in all evaluated networks)."""
+
+    fn: str = "relu"
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ACT
+
+    @property
+    def out_shape(self) -> Shape:
+        return self.in_shape
+
+
+class PoolKind(enum.Enum):
+    MAX = "max"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class Pool(Layer):
+    """Spatial pooling; ``global_pool`` collapses H×W to 1×1."""
+
+    pool: PoolKind = PoolKind.MAX
+    kernel: tuple[int, int] = (2, 2)
+    stride: tuple[int, int] = (2, 2)
+    padding: tuple[int, int] = (0, 0)
+    global_pool: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel", _pair(self.kernel))
+        object.__setattr__(self, "stride", _pair(self.stride))
+        object.__setattr__(self, "padding", _pair(self.padding))
+        _ = self.out_shape
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.POOL
+
+    @property
+    def out_shape(self) -> Shape:
+        if self.global_pool:
+            return Shape(self.in_shape.c, 1, 1)
+        return _shapes.pool_out_shape(
+            self.in_shape, self.kernel, self.stride, self.padding
+        )
+
+
+@dataclass(frozen=True)
+class EltwiseAdd(Layer):
+    """Element-wise sum at a residual merge point.
+
+    Modeled as a layer so the timing model can charge it to the vector
+    units (the "Sum" category in the paper's Fig. 12 breakdown).
+    """
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ADD
+
+    @property
+    def out_shape(self) -> Shape:
+        return self.in_shape

@@ -1,0 +1,66 @@
+"""A network is an input shape plus an ordered sequence of blocks."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.blocks import Block
+from repro.graph.layers import Layer
+from repro.types import Shape
+
+
+@dataclass(frozen=True)
+class Network:
+    """Validated sequence of blocks with consistent shape flow.
+
+    ``default_mini_batch`` records the per-core mini-batch size the paper
+    evaluates the network with (32 for the deep CNNs, 64 for AlexNet).
+    """
+
+    name: str
+    in_shape: Shape
+    blocks: tuple[Block, ...]
+    default_mini_batch: int = 32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "blocks", tuple(self.blocks))
+        if not self.blocks:
+            raise ValueError(f"{self.name}: network needs at least one block")
+        if self.default_mini_batch <= 0:
+            raise ValueError(f"{self.name}: mini-batch must be positive")
+        shape = self.in_shape
+        for block in self.blocks:
+            if block.in_shape != shape:
+                raise ValueError(
+                    f"{self.name}: block {block.name} expects input "
+                    f"{block.in_shape}, predecessor produces {shape}"
+                )
+            shape = block.out_shape
+
+    @property
+    def out_shape(self) -> Shape:
+        return self.blocks[-1].out_shape
+
+    def all_layers(self) -> list[Layer]:
+        """Every layer of the network in execution order."""
+        out: list[Layer] = []
+        for block in self.blocks:
+            out.extend(block.all_layers())
+        return out
+
+    @property
+    def param_count(self) -> int:
+        return sum(b.param_count for b in self.blocks)
+
+    @property
+    def macs_per_sample(self) -> int:
+        """Forward-pass multiply-accumulates per sample."""
+        return sum(b.macs_per_sample for b in self.blocks)
+
+    def block_named(self, name: str) -> Block:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"{self.name}: no block named {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.blocks)

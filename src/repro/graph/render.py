@@ -1,0 +1,85 @@
+"""Text rendering of networks: summaries and per-block diagrams."""
+from __future__ import annotations
+
+from repro.graph.blocks import Block, Branch, MergeKind
+from repro.graph.network import Network
+
+
+def _layer_line(layer) -> str:
+    extra = ""
+    if hasattr(layer, "kernel"):
+        k = getattr(layer, "kernel")
+        s = getattr(layer, "stride", (1, 1))
+        extra = f" {k[0]}x{k[1]}"
+        if s != (1, 1):
+            extra += f"/{s[0]}"
+    return (
+        f"{layer.name} [{layer.kind.value}{extra}] "
+        f"{layer.in_shape} -> {layer.out_shape}"
+    )
+
+
+def _render_branch(branch: Branch, indent: str, lines: list[str]) -> None:
+    if branch.is_identity:
+        lines.append(f"{indent}(identity)")
+        return
+    for layer in branch.layers:
+        lines.append(indent + _layer_line(layer))
+    for ci, child in enumerate(branch.children):
+        lines.append(f"{indent}fork[{ci}]:")
+        _render_branch(child, indent + "  ", lines)
+
+
+def render_block(block: Block) -> str:
+    """Multi-line diagram of one block."""
+    lines = [f"{block.name}: {block.in_shape} -> {block.out_shape}"]
+    if not block.is_module:
+        for layer in block.branches[0].layers:
+            lines.append("  " + _layer_line(layer))
+    else:
+        for bi, branch in enumerate(block.branches):
+            lines.append(f"  branch[{bi}]:")
+            _render_branch(branch, "    ", lines)
+        merge = block.merge.value if block.merge else "none"
+        lines.append(f"  merge: {merge}")
+        for layer in block.post_merge:
+            lines.append("  " + _layer_line(layer))
+    return "\n".join(lines)
+
+
+def render_network(net: Network, detail: bool = False) -> str:
+    """Network summary: one line per block, or full layer diagrams."""
+    header = (
+        f"{net.name}: input {net.in_shape}, {len(net)} blocks, "
+        f"{net.param_count:,} params, "
+        f"{net.macs_per_sample / 1e9:.2f} GMACs/sample"
+    )
+    lines = [header]
+    for block in net.blocks:
+        if detail:
+            lines.append(render_block(block))
+        else:
+            tag = "module" if block.is_module else "chain"
+            n_layers = len(block.all_layers())
+            lines.append(
+                f"  {block.name:16s} [{tag:6s}] {str(block.in_shape):>12s} ->"
+                f" {str(block.out_shape):>12s}  {n_layers:3d} layers"
+                f"  {block.param_count:>12,} params"
+            )
+    return "\n".join(lines)
+
+
+def summary_table(net: Network) -> list[dict]:
+    """Machine-readable per-block summary (name, shapes, params, MACs)."""
+    return [
+        {
+            "name": b.name,
+            "is_module": b.is_module,
+            "in_shape": str(b.in_shape),
+            "out_shape": str(b.out_shape),
+            "layers": len(b.all_layers()),
+            "params": b.param_count,
+            "macs_per_sample": b.macs_per_sample,
+        }
+        for b in net.blocks
+    ]

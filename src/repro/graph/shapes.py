@@ -1,0 +1,44 @@
+"""Spatial shape arithmetic for convolution and pooling windows."""
+from __future__ import annotations
+
+from repro.types import Shape
+
+
+def window_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output extent of a sliding window along one spatial dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"window produces non-positive extent: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def conv_out_shape(
+    in_shape: Shape,
+    out_channels: int,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> Shape:
+    """Shape produced by a 2-D convolution over ``in_shape``."""
+    return Shape(
+        out_channels,
+        window_out(in_shape.h, kernel[0], stride[0], padding[0]),
+        window_out(in_shape.w, kernel[1], stride[1], padding[1]),
+    )
+
+
+def pool_out_shape(
+    in_shape: Shape,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> Shape:
+    """Shape produced by a pooling window over ``in_shape``."""
+    return Shape(
+        in_shape.c,
+        window_out(in_shape.h, kernel[0], stride[0], padding[0]),
+        window_out(in_shape.w, kernel[1], stride[1], padding[1]),
+    )

@@ -1,0 +1,26 @@
+"""NumPy CNN training substrate.
+
+Interprets the graph IR of :mod:`repro.graph` into an executable,
+trainable model: im2col convolutions, batch/group normalization, pooling,
+fully-connected layers, softmax cross-entropy, SGD with momentum — enough
+to demonstrate the paper's Sec. 3.1 numerics: MBS sub-batch serialization
+with group normalization computes *exactly* the same gradients as
+full-mini-batch training, while batch normalization does not.
+"""
+from repro.nn.model import NetworkModel
+from repro.nn.executor import compute_gradients, mbs_gradients
+from repro.nn.optim import SGD
+from repro.nn.loss import softmax_cross_entropy
+from repro.nn.data import synthetic_dataset
+from repro.nn.train import TrainResult, train
+
+__all__ = [
+    "NetworkModel",
+    "SGD",
+    "TrainResult",
+    "compute_gradients",
+    "mbs_gradients",
+    "softmax_cross_entropy",
+    "synthetic_dataset",
+    "train",
+]

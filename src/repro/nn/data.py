@@ -1,0 +1,91 @@
+"""Synthetic image-classification dataset (the ImageNet stand-in).
+
+Each class is an oriented sinusoidal grating with a class-specific
+frequency, overlaid with a localized blob, plus per-sample phase jitter
+and Gaussian noise.  The task is learnable by a small CNN within a few
+epochs yet non-trivial (no single pixel is discriminative), which is all
+Fig. 6 needs: a setting where BN and GN+MBS train equally well and an
+un-normalized network visibly lags.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.y_train.max()) + 1
+
+
+def _render(
+    rng: np.random.Generator,
+    labels: np.ndarray,
+    size: int,
+    channels: int,
+    num_classes: int,
+    noise: float,
+) -> np.ndarray:
+    n = labels.shape[0]
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float64) / size
+    angles = np.pi * labels / num_classes
+    freqs = 3.0 + 2.0 * (labels % 3)
+    phase = rng.uniform(0, 2 * np.pi, n)
+    # oriented grating per sample: cos(2π f (x cosθ + y sinθ) + φ)
+    proj = (
+        xx[None] * np.cos(angles)[:, None, None]
+        + yy[None] * np.sin(angles)[:, None, None]
+    )
+    grating = np.cos(2 * np.pi * freqs[:, None, None] * proj + phase[:, None, None])
+    # class-positioned blob
+    cx = 0.2 + 0.6 * ((labels * 7) % num_classes) / num_classes
+    cy = 0.2 + 0.6 * ((labels * 3) % num_classes) / num_classes
+    blob = np.exp(
+        -(
+            (xx[None] - cx[:, None, None]) ** 2
+            + (yy[None] - cy[:, None, None]) ** 2
+        )
+        / 0.02
+    )
+    base = grating + 1.5 * blob
+    x = np.repeat(base[:, None, :, :], channels, axis=1)
+    # channel tint so color carries a weak class signal too
+    tint = 0.3 * np.cos(
+        2 * np.pi * (labels[:, None] / num_classes + np.arange(channels) / 3.0)
+    )
+    x = x + tint[:, :, None, None]
+    x += rng.normal(0.0, noise, x.shape)
+    return x.astype(np.float64)
+
+
+def synthetic_dataset(
+    train: int = 512,
+    val: int = 256,
+    size: int = 32,
+    channels: int = 3,
+    num_classes: int = 8,
+    noise: float = 0.6,
+    seed: int = 0,
+) -> Dataset:
+    """Balanced synthetic dataset; deterministic given the seed."""
+    rng = np.random.default_rng(seed)
+    y_train = np.arange(train) % num_classes
+    y_val = np.arange(val) % num_classes
+    rng.shuffle(y_train)
+    rng.shuffle(y_val)
+    x_train = _render(rng, y_train, size, channels, num_classes, noise)
+    x_val = _render(rng, y_val, size, channels, num_classes, noise)
+    return Dataset(
+        x_train=x_train,
+        y_train=y_train.astype(np.int64),
+        x_val=x_val,
+        y_val=y_val.astype(np.int64),
+    )

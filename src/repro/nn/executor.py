@@ -1,0 +1,84 @@
+"""Mini-batch executors: conventional full-batch vs MBS serialization.
+
+``mbs_gradients`` is the numerical core of the paper's Sec. 3 claim: with
+per-sample normalization (GN) and summed gradient accumulation, pushing
+sub-batches one at a time through the network — any sub-batch sizing —
+produces exactly the gradients of one full-mini-batch pass.  With batch
+normalization the statistics change per sub-batch and the equivalence
+breaks, which is why MBS adapts GN.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.subbatch import sub_batch_sequence
+from repro.nn.loss import softmax_cross_entropy
+from repro.nn.model import NetworkModel
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """Outcome of one gradient computation over a mini-batch."""
+
+    loss_sum: float
+    correct: int
+    samples: int
+
+    @property
+    def loss_mean(self) -> float:
+        return self.loss_sum / self.samples if self.samples else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.samples if self.samples else 0.0
+
+
+def compute_gradients(
+    model: NetworkModel, x: np.ndarray, y: np.ndarray
+) -> StepStats:
+    """Conventional flow: one forward/backward over the whole mini-batch.
+
+    Gradients are *accumulated* into the model (callers zero first).
+    """
+    logits = model.forward(x, training=True)
+    loss, dlogits, correct = softmax_cross_entropy(logits, y)
+    model.backward(dlogits)
+    return StepStats(loss_sum=loss, correct=correct, samples=x.shape[0])
+
+
+def mbs_gradients(
+    model: NetworkModel, x: np.ndarray, y: np.ndarray, sub_batch: int
+) -> StepStats:
+    """MBS flow: serialize the mini-batch into sub-batches, accumulating
+    parameter gradients across iterations (paper Fig. 5 / Sec. 3)."""
+    n = x.shape[0]
+    loss = 0.0
+    correct = 0
+    start = 0
+    for size in sub_batch_sequence(n, sub_batch):
+        xs = x[start : start + size]
+        ys = y[start : start + size]
+        logits = model.forward(xs, training=True)
+        l, dlogits, c = softmax_cross_entropy(logits, ys)
+        model.backward(dlogits)
+        loss += l
+        correct += c
+        start += size
+    return StepStats(loss_sum=loss, correct=correct, samples=n)
+
+
+def evaluate(model: NetworkModel, x: np.ndarray, y: np.ndarray,
+             batch: int = 64) -> StepStats:
+    """Validation pass (no gradients are used; caller may zero after)."""
+    loss = 0.0
+    correct = 0
+    for start in range(0, x.shape[0], batch):
+        xs = x[start : start + batch]
+        ys = y[start : start + batch]
+        logits = model.forward(xs, training=False)
+        l, _, c = softmax_cross_entropy(logits, ys)
+        loss += l
+        correct += c
+    return StepStats(loss_sum=loss, correct=correct, samples=x.shape[0])

@@ -1,0 +1,161 @@
+"""Vectorized NumPy kernels: convolution, pooling, activations.
+
+Everything is expressed through ``sliding_window_view`` + ``einsum`` so
+the Python interpreter never loops over pixels (per the ml-systems
+guide); correctness is pinned by finite-difference tests.
+"""
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+
+def _pair(v):
+    return (v, v) if isinstance(v, int) else tuple(v)
+
+
+# ----------------------------------------------------------------------
+# convolution
+# ----------------------------------------------------------------------
+
+def conv2d_forward(
+    x: np.ndarray,
+    w: np.ndarray,
+    bias: np.ndarray | None,
+    stride,
+    padding,
+) -> np.ndarray:
+    """x: (N,Ci,H,W), w: (Co,Ci,R,S) → (N,Co,Ho,Wo)."""
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    r, s = w.shape[2], w.shape[3]
+    win = sliding_window_view(xp, (r, s), axis=(2, 3))[:, :, ::sh, ::sw]
+    y = np.einsum("nchwrs,ocrs->nohw", win, w, optimize=True)
+    if bias is not None:
+        y += bias[None, :, None, None]
+    return np.ascontiguousarray(y)
+
+
+def conv2d_backward(
+    x: np.ndarray,
+    w: np.ndarray,
+    dy: np.ndarray,
+    stride,
+    padding,
+    with_bias: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Gradients (dx, dw, db) of a conv2d forward pass."""
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    co, ci, r, s = w.shape
+    n, _, hi, wi = x.shape
+
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    win = sliding_window_view(xp, (r, s), axis=(2, 3))[:, :, ::sh, ::sw]
+    dw = np.einsum("nohw,nchwrs->ocrs", dy, win, optimize=True)
+    db = dy.sum(axis=(0, 2, 3)) if with_bias else None
+
+    # dx: dilate dy by the stride, pad, correlate with the rotated kernel.
+    ho, wo = dy.shape[2], dy.shape[3]
+    hd = (ho - 1) * sh + 1
+    wd = (wo - 1) * sw + 1
+    dyd = np.zeros((n, co, hd, wd), dtype=dy.dtype)
+    dyd[:, :, ::sh, ::sw] = dy
+    # target output after correlation must be exactly (hi, wi)
+    top = r - 1 - ph
+    left = s - 1 - pw
+    if top < 0 or left < 0:
+        raise ValueError("padding larger than kernel-1 is not supported")
+    bottom = hi - (hd + top - r + 1)
+    right = wi - (wd + left - s + 1)
+    dyp = np.pad(
+        dyd, ((0, 0), (0, 0), (top, max(bottom, 0)), (left, max(right, 0)))
+    )
+    w_rot = w[:, :, ::-1, ::-1]
+    dwin = sliding_window_view(dyp, (r, s), axis=(2, 3))
+    dx = np.einsum("nohwrs,ocrs->nchw", dwin, w_rot, optimize=True)
+    dx = dx[:, :, :hi, :wi]
+    return np.ascontiguousarray(dx), dw, db
+
+
+# ----------------------------------------------------------------------
+# pooling
+# ----------------------------------------------------------------------
+
+def maxpool_forward(x, kernel, stride, padding):
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    xp = np.pad(
+        x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=-np.inf
+    )
+    win = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    n, c, ho, wo = win.shape[:4]
+    flat = win.reshape(n, c, ho, wo, kh * kw)
+    arg = flat.argmax(axis=-1)
+    y = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    cache = (x.shape, arg, (kh, kw), (sh, sw), (ph, pw))
+    return np.ascontiguousarray(y), cache
+
+
+def maxpool_backward(dy, cache):
+    (xshape, arg, (kh, kw), (sh, sw), (ph, pw)) = cache
+    n, c, hi, wi = xshape
+    hp, wp = hi + 2 * ph, wi + 2 * pw
+    dxp = np.zeros((n, c, hp, wp), dtype=dy.dtype)
+    ho, wo = arg.shape[2], arg.shape[3]
+    ni, ci, hoi, woi = np.indices((n, c, ho, wo), sparse=False)
+    row = hoi * sh + arg // kw
+    col = woi * sw + arg % kw
+    np.add.at(dxp, (ni, ci, row, col), dy)
+    return np.ascontiguousarray(dxp[:, :, ph : ph + hi, pw : pw + wi])
+
+
+def avgpool_forward(x, kernel, stride, padding):
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    win = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    y = win.mean(axis=(-2, -1))
+    cache = (x.shape, (kh, kw), (sh, sw), (ph, pw), y.shape)
+    return np.ascontiguousarray(y), cache
+
+
+def avgpool_backward(dy, cache):
+    (xshape, (kh, kw), (sh, sw), (ph, pw), yshape) = cache
+    n, c, hi, wi = xshape
+    hp, wp = hi + 2 * ph, wi + 2 * pw
+    dxp = np.zeros((n, c, hp, wp), dtype=dy.dtype)
+    ho, wo = yshape[2], yshape[3]
+    scale = dy / (kh * kw)
+    # scatter each window contribution; loop over the (small) kernel only
+    for r in range(kh):
+        for s in range(kw):
+            view = dxp[:, :, r : r + ho * sh : sh, s : s + wo * sw : sw]
+            view += scale
+    return np.ascontiguousarray(dxp[:, :, ph : ph + hi, pw : pw + wi])
+
+
+def global_avgpool_forward(x):
+    y = x.mean(axis=(2, 3), keepdims=True)
+    return y, x.shape
+
+
+def global_avgpool_backward(dy, xshape):
+    n, c, h, w = xshape
+    return np.broadcast_to(dy / (h * w), xshape).astype(dy.dtype)
+
+
+# ----------------------------------------------------------------------
+# activations
+# ----------------------------------------------------------------------
+
+def relu_forward(x):
+    mask = x > 0
+    return x * mask, mask
+
+
+def relu_backward(dy, mask):
+    return dy * mask

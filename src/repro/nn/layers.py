@@ -1,0 +1,198 @@
+"""Trainable layer modules wrapping the functional kernels.
+
+Each module owns its parameters and *accumulates* into ``grads`` on
+backward — accumulation is what lets the MBS executor sum gradients
+across sub-batches without any layer-level changes (paper Sec. 3,
+"Data Synchronization").
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.layers import (
+    Activation,
+    Conv2D,
+    FullyConnected,
+    Norm,
+    NormKind,
+    Pool,
+    PoolKind,
+)
+from repro.nn import functional as F
+from repro.nn import norm as N
+
+
+class NNLayer:
+    """Base module: stateless by default."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self._cache = None
+
+    def zero_grads(self) -> None:
+        for k in self.grads:
+            self.grads[k][...] = 0.0
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NNConv(NNLayer):
+    def __init__(self, spec: Conv2D, rng: np.random.Generator, dtype=np.float64):
+        super().__init__()
+        self.spec = spec
+        ci = spec.in_shape.c
+        fan_in = ci * spec.kernel[0] * spec.kernel[1]
+        w = rng.normal(0.0, np.sqrt(2.0 / fan_in),
+                       (spec.out_channels, ci, *spec.kernel))
+        self.params["w"] = w.astype(dtype)
+        self.grads["w"] = np.zeros_like(self.params["w"])
+        if spec.bias:
+            self.params["b"] = np.zeros(spec.out_channels, dtype=dtype)
+            self.grads["b"] = np.zeros_like(self.params["b"])
+
+    def forward(self, x, training=True):
+        self._cache = x
+        return F.conv2d_forward(
+            x, self.params["w"], self.params.get("b"),
+            self.spec.stride, self.spec.padding,
+        )
+
+    def backward(self, dy):
+        x = self._cache
+        dx, dw, db = F.conv2d_backward(
+            x, self.params["w"], dy, self.spec.stride, self.spec.padding,
+            with_bias="b" in self.params,
+        )
+        self.grads["w"] += dw
+        if db is not None:
+            self.grads["b"] += db
+        return dx
+
+
+class NNNorm(NNLayer):
+    def __init__(self, spec: Norm, dtype=np.float64):
+        super().__init__()
+        self.spec = spec
+        c = spec.in_shape.c
+        self.params["gamma"] = np.ones(c, dtype=dtype)
+        self.params["beta"] = np.zeros(c, dtype=dtype)
+        self.grads["gamma"] = np.zeros_like(self.params["gamma"])
+        self.grads["beta"] = np.zeros_like(self.params["beta"])
+        #: mean of the layer's output on the last forward (the paper's
+        #: Fig. 6 right panel tracks per-norm-layer pre-activation means)
+        self.last_output_mean: float = 0.0
+
+    def forward(self, x, training=True):
+        if self.spec.norm is NormKind.BATCH:
+            y, cache = N.batchnorm_forward(
+                x, self.params["gamma"], self.params["beta"]
+            )
+        else:
+            y, cache = N.groupnorm_forward(
+                x, self.params["gamma"], self.params["beta"], self.spec.groups
+            )
+        self._cache = cache
+        self.last_output_mean = float(y.mean())
+        return y
+
+    def backward(self, dy):
+        if self.spec.norm is NormKind.BATCH:
+            dx, dgamma, dbeta = N.batchnorm_backward(dy, self._cache)
+        else:
+            dx, dgamma, dbeta = N.groupnorm_backward(dy, self._cache)
+        self.grads["gamma"] += dgamma
+        self.grads["beta"] += dbeta
+        return dx
+
+
+class NNReLU(NNLayer):
+    def __init__(self, spec: Activation):
+        super().__init__()
+        self.spec = spec
+        #: mean of the layer's input (pre-activation) on the last forward
+        self.last_input_mean: float = 0.0
+
+    def forward(self, x, training=True):
+        self.last_input_mean = float(x.mean())
+        y, mask = F.relu_forward(x)
+        self._cache = mask
+        return y
+
+    def backward(self, dy):
+        return F.relu_backward(dy, self._cache)
+
+
+class NNPool(NNLayer):
+    def __init__(self, spec: Pool):
+        super().__init__()
+        self.spec = spec
+
+    def forward(self, x, training=True):
+        s = self.spec
+        if s.global_pool:
+            y, cache = F.global_avgpool_forward(x)
+        elif s.pool is PoolKind.MAX:
+            y, cache = F.maxpool_forward(x, s.kernel, s.stride, s.padding)
+        else:
+            y, cache = F.avgpool_forward(x, s.kernel, s.stride, s.padding)
+        self._cache = cache
+        return y
+
+    def backward(self, dy):
+        s = self.spec
+        if s.global_pool:
+            return F.global_avgpool_backward(dy, self._cache)
+        if s.pool is PoolKind.MAX:
+            return F.maxpool_backward(dy, self._cache)
+        return F.avgpool_backward(dy, self._cache)
+
+
+class NNLinear(NNLayer):
+    def __init__(self, spec: FullyConnected, rng: np.random.Generator,
+                 dtype=np.float64):
+        super().__init__()
+        self.spec = spec
+        fan_in = spec.in_shape.elems
+        self.params["w"] = rng.normal(
+            0.0, np.sqrt(2.0 / fan_in), (fan_in, spec.out_features)
+        ).astype(dtype)
+        self.grads["w"] = np.zeros_like(self.params["w"])
+        if spec.bias:
+            self.params["b"] = np.zeros(spec.out_features, dtype=dtype)
+            self.grads["b"] = np.zeros_like(self.params["b"])
+
+    def forward(self, x, training=True):
+        flat = x.reshape(x.shape[0], -1)
+        self._cache = (flat, x.shape)
+        y = flat @ self.params["w"]
+        if "b" in self.params:
+            y = y + self.params["b"]
+        return y
+
+    def backward(self, dy):
+        flat, xshape = self._cache
+        dy = dy.reshape(dy.shape[0], -1)
+        self.grads["w"] += flat.T @ dy
+        if "b" in self.params:
+            self.grads["b"] += dy.sum(axis=0)
+        return (dy @ self.params["w"].T).reshape(xshape)
+
+
+def build_layer(spec, rng: np.random.Generator, dtype=np.float64) -> NNLayer:
+    """Instantiate the executable module for a graph-IR layer spec."""
+    if isinstance(spec, Conv2D):
+        return NNConv(spec, rng, dtype)
+    if isinstance(spec, Norm):
+        return NNNorm(spec, dtype)
+    if isinstance(spec, Activation):
+        return NNReLU(spec)
+    if isinstance(spec, Pool):
+        return NNPool(spec)
+    if isinstance(spec, FullyConnected):
+        return NNLinear(spec, rng, dtype)
+    raise TypeError(f"no executable module for layer spec {type(spec).__name__}")

@@ -1,0 +1,28 @@
+"""Softmax cross-entropy with sum reduction.
+
+Sum reduction (rather than mean) keeps gradient accumulation across MBS
+sub-batches exactly equivalent to a full-mini-batch pass: sub-batch
+gradient sums simply add up.  Callers divide by the mini-batch size at
+optimizer time.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray, int]:
+    """Returns (summed loss, dlogits, correct-prediction count)."""
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, classes), got {logits.shape}")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    eps = np.finfo(probs.dtype).tiny
+    loss = -np.log(probs[np.arange(n), labels] + eps).sum()
+    dlogits = probs.copy()
+    dlogits[np.arange(n), labels] -= 1.0
+    correct = int((logits.argmax(axis=1) == labels).sum())
+    return float(loss), dlogits, correct

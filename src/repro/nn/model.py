@@ -1,0 +1,163 @@
+"""Graph-IR interpreter: turns a :class:`repro.graph.Network` into a
+trainable NumPy model, preserving the exact block/branch structure."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.blocks import Block, Branch, MergeKind
+from repro.graph.network import Network
+from repro.nn.layers import NNLayer, NNNorm, NNReLU, build_layer
+
+
+class _ExecBranch:
+    def __init__(self, branch: Branch, rng, dtype):
+        self.layers = [build_layer(s, rng, dtype) for s in branch.layers]
+        self.children = [_ExecBranch(c, rng, dtype) for c in branch.children]
+        self.is_identity = branch.is_identity
+
+    def forward(self, x, training):
+        for layer in self.layers:
+            x = layer.forward(x, training)
+        if not self.children:
+            return [x]
+        outs = []
+        for child in self.children:
+            outs.extend(child.forward(x, training))
+        return outs
+
+    def backward(self, dleaves: list[np.ndarray]):
+        if self.children:
+            dx_tail = None
+            idx = 0
+            for child in self.children:
+                n_leaves = child.num_leaves
+                d = child.backward(dleaves[idx : idx + n_leaves])
+                dx_tail = d if dx_tail is None else dx_tail + d
+                idx += n_leaves
+        else:
+            (dx_tail,) = dleaves
+        for layer in reversed(self.layers):
+            dx_tail = layer.backward(dx_tail)
+        return dx_tail
+
+    @property
+    def num_leaves(self) -> int:
+        if not self.children:
+            return 1
+        return sum(c.num_leaves for c in self.children)
+
+    def modules(self):
+        yield from self.layers
+        for child in self.children:
+            yield from child.modules()
+
+
+class _ExecBlock:
+    def __init__(self, block: Block, rng, dtype):
+        self.spec = block
+        self.branches = [_ExecBranch(b, rng, dtype) for b in block.branches]
+        self.post = [build_layer(s, rng, dtype) for s in block.post_merge]
+        self._leaf_channels: list[int] | None = None
+
+    def forward(self, x, training):
+        leaf_lists = [br.forward(x, training) for br in self.branches]
+        leaves = [l for lst in leaf_lists for l in lst]
+        if self.spec.merge is None:
+            y = leaves[0]
+        elif self.spec.merge is MergeKind.ADD:
+            y = leaves[0]
+            for l in leaves[1:]:
+                y = y + l
+        else:  # CONCAT
+            self._leaf_channels = [l.shape[1] for l in leaves]
+            y = np.concatenate(leaves, axis=1)
+        for layer in self.post:
+            y = layer.forward(y, training)
+        return y
+
+    def backward(self, dy):
+        for layer in reversed(self.post):
+            dy = layer.backward(dy)
+        if self.spec.merge is MergeKind.CONCAT:
+            splits = np.cumsum(self._leaf_channels)[:-1]
+            dleaves = np.split(dy, splits, axis=1)
+        else:
+            total_leaves = sum(br.num_leaves for br in self.branches)
+            dleaves = [dy] * total_leaves
+        dx = None
+        idx = 0
+        for br in self.branches:
+            n_leaves = br.num_leaves
+            d = br.backward(list(dleaves[idx : idx + n_leaves]))
+            dx = d if dx is None else dx + d
+            idx += n_leaves
+        return dx
+
+    def modules(self):
+        for br in self.branches:
+            yield from br.modules()
+        yield from self.post
+
+
+class NetworkModel:
+    """Executable, trainable interpretation of a graph-IR network."""
+
+    def __init__(self, network: Network, seed: int = 0, dtype=np.float64):
+        self.network = network
+        self.dtype = dtype
+        rng = np.random.default_rng(seed)
+        self.blocks = [_ExecBlock(b, rng, dtype) for b in network.blocks]
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        x = x.astype(self.dtype, copy=False)
+        for block in self.blocks:
+            x = block.forward(x, training)
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        n = dlogits.shape[0]
+        out = self.network.out_shape
+        dy = dlogits.reshape(n, out.c, out.h, out.w).astype(self.dtype, copy=False)
+        for block in reversed(self.blocks):
+            dy = block.backward(dy)
+
+    # ------------------------------------------------------------------
+    def modules(self):
+        for block in self.blocks:
+            yield from block.modules()
+
+    def parameters(self):
+        """Yield (qualified_name, param, grad) triples."""
+        for i, module in enumerate(self.modules()):
+            prefix = getattr(getattr(module, "spec", None), "name", f"module{i}")
+            for key in module.params:
+                yield f"{prefix}.{key}", module.params[key], module.grads[key]
+
+    def zero_grads(self) -> None:
+        for module in self.modules():
+            module.zero_grads()
+
+    def gradient_vector(self) -> np.ndarray:
+        """All gradients flattened (deterministic order) — for tests."""
+        return np.concatenate([g.ravel() for _, _, g in self.parameters()])
+
+    def norm_output_means(self) -> dict[str, float]:
+        """Per-normalization-layer output means of the last forward pass
+        (the paper's Fig. 6 pre-activation distribution check)."""
+        out = {}
+        for module in self.modules():
+            if isinstance(module, NNNorm):
+                out[module.spec.name] = module.last_output_mean
+        return out
+
+    def pre_activation_means(self) -> dict[str, float]:
+        """Per-ReLU input means of the last forward pass (used for the
+        un-normalized network, which has no norm layers to probe)."""
+        out = {}
+        for module in self.modules():
+            if isinstance(module, NNReLU):
+                out[module.spec.name] = module.last_input_mean
+        return out
+
+    def param_count(self) -> int:
+        return sum(p.size for _, p, _ in self.parameters())

@@ -1,0 +1,63 @@
+"""Batch and group normalization, forward and backward.
+
+Group normalization (Wu & He, 2018) normalizes within channel groups of
+a *single sample*, which is what makes it compatible with MBS: the
+statistics of one sample do not depend on which sub-batch it travels in
+(paper Sec. 3.1).  Batch normalization couples every sample in the
+mini-batch through the shared statistics, which is exactly what MBS
+serialization would break.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+
+def batchnorm_forward(x, gamma, beta, eps=1e-5):
+    """x: (N,C,H,W); statistics over (N,H,W) per channel."""
+    mean = x.mean(axis=(0, 2, 3), keepdims=True)
+    var = x.var(axis=(0, 2, 3), keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mean) * inv
+    y = gamma[None, :, None, None] * xhat + beta[None, :, None, None]
+    return y, (xhat, inv, gamma)
+
+
+def batchnorm_backward(dy, cache):
+    xhat, inv, gamma = cache
+    n, c, h, w = dy.shape
+    m = n * h * w
+    dxhat = dy * gamma[None, :, None, None]
+    dgamma = (dy * xhat).sum(axis=(0, 2, 3))
+    dbeta = dy.sum(axis=(0, 2, 3))
+    sum_dxhat = dxhat.sum(axis=(0, 2, 3), keepdims=True)
+    sum_dxhat_xhat = (dxhat * xhat).sum(axis=(0, 2, 3), keepdims=True)
+    dx = inv / m * (m * dxhat - sum_dxhat - xhat * sum_dxhat_xhat)
+    return dx, dgamma, dbeta
+
+
+def groupnorm_forward(x, gamma, beta, groups, eps=1e-5):
+    """x: (N,C,H,W); statistics over each sample's channel group."""
+    n, c, h, w = x.shape
+    if c % groups:
+        raise ValueError(f"channels {c} not divisible by groups {groups}")
+    xg = x.reshape(n, groups, c // groups, h, w)
+    mean = xg.mean(axis=(2, 3, 4), keepdims=True)
+    var = xg.var(axis=(2, 3, 4), keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = ((xg - mean) * inv).reshape(n, c, h, w)
+    y = gamma[None, :, None, None] * xhat + beta[None, :, None, None]
+    return y, (xhat, inv, gamma, groups)
+
+
+def groupnorm_backward(dy, cache):
+    xhat, inv, gamma, groups = cache
+    n, c, h, w = dy.shape
+    m = (c // groups) * h * w
+    dxhat = (dy * gamma[None, :, None, None]).reshape(n, groups, c // groups, h, w)
+    xhat_g = xhat.reshape(n, groups, c // groups, h, w)
+    dgamma = (dy * xhat).sum(axis=(0, 2, 3))
+    dbeta = dy.sum(axis=(0, 2, 3))
+    sum_dxhat = dxhat.sum(axis=(2, 3, 4), keepdims=True)
+    sum_dxhat_xhat = (dxhat * xhat_g).sum(axis=(2, 3, 4), keepdims=True)
+    dxg = inv / m * (m * dxhat - sum_dxhat - xhat_g * sum_dxhat_xhat)
+    return dxg.reshape(n, c, h, w), dgamma, dbeta

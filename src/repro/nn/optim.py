@@ -1,0 +1,51 @@
+"""SGD with momentum and step learning-rate decay (the paper's recipe:
+momentum SGD, initial LR 0.05, decay 0.1 at scheduled epochs)."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import NetworkModel
+
+
+class SGD:
+    """Momentum SGD over a model's accumulated (summed) gradients.
+
+    ``step(batch_size)`` divides the gradient sums by the mini-batch size
+    so full-batch and MBS-accumulated executions update identically.
+    """
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        decay_epochs: tuple[int, ...] = (),
+        decay_factor: float = 0.1,
+    ) -> None:
+        self.model = model
+        self.base_lr = lr
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.decay_epochs = tuple(decay_epochs)
+        self.decay_factor = decay_factor
+        self._velocity = {
+            name: np.zeros_like(p) for name, p, _ in model.parameters()
+        }
+
+    def set_epoch(self, epoch: int) -> None:
+        decays = sum(1 for e in self.decay_epochs if epoch >= e)
+        self.lr = self.base_lr * (self.decay_factor ** decays)
+
+    def step(self, batch_size: int) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        for name, p, g in self.model.parameters():
+            grad = g / batch_size
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p
+            v = self._velocity[name]
+            v *= self.momentum
+            v -= self.lr * grad
+            p += v

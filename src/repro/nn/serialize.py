@@ -1,0 +1,48 @@
+"""Model checkpointing: save/load parameters as ``.npz`` archives."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import NetworkModel
+
+
+def state_dict(model: NetworkModel) -> dict[str, np.ndarray]:
+    """Qualified-name → parameter array (copies)."""
+    out: dict[str, np.ndarray] = {}
+    for name, param, _ in model.parameters():
+        if name in out:
+            raise ValueError(f"duplicate parameter name {name!r}")
+        out[name] = param.copy()
+    return out
+
+
+def load_state_dict(model: NetworkModel, state: dict[str, np.ndarray]) -> None:
+    """Load parameters in place; names and shapes must match exactly."""
+    expected = {name for name, _, _ in model.parameters()}
+    given = set(state)
+    if expected != given:
+        missing = sorted(expected - given)
+        extra = sorted(given - expected)
+        raise ValueError(
+            f"state mismatch: missing={missing[:3]}... extra={extra[:3]}..."
+            if len(missing) + len(extra) > 6
+            else f"state mismatch: missing={missing} extra={extra}"
+        )
+    for name, param, _ in model.parameters():
+        src = state[name]
+        if src.shape != param.shape:
+            raise ValueError(
+                f"{name}: shape mismatch {src.shape} vs {param.shape}"
+            )
+        param[...] = src
+
+
+def save_weights(model: NetworkModel, path: str) -> None:
+    """Write all parameters to an ``.npz`` archive."""
+    np.savez(path, **state_dict(model))
+
+
+def load_weights(model: NetworkModel, path: str) -> None:
+    """Restore parameters from :func:`save_weights` output."""
+    with np.load(path) as archive:
+        load_state_dict(model, {k: archive[k] for k in archive.files})

@@ -1,0 +1,74 @@
+"""Training loop for the Fig. 6 experiment: BN vs GN+MBS vs no-norm."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.data import Dataset
+from repro.nn.executor import compute_gradients, evaluate, mbs_gradients
+from repro.nn.model import NetworkModel
+from repro.nn.optim import SGD
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history of one training run."""
+
+    label: str
+    val_error: list[float] = field(default_factory=list)
+    train_loss: list[float] = field(default_factory=list)
+    #: per-epoch mean of the first and last normalization layers' outputs
+    #: (pre-activation means, the Fig. 6 right-panel probe)
+    first_norm_mean: list[float] = field(default_factory=list)
+    last_norm_mean: list[float] = field(default_factory=list)
+
+    @property
+    def final_val_error(self) -> float:
+        return self.val_error[-1] if self.val_error else 1.0
+
+
+def train(
+    model: NetworkModel,
+    data: Dataset,
+    epochs: int = 10,
+    batch: int = 32,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    sub_batch: int | None = None,
+    decay_epochs: tuple[int, ...] = (),
+    label: str = "run",
+    seed: int = 0,
+) -> TrainResult:
+    """Train with the conventional flow (``sub_batch=None``) or the MBS
+    flow (sub-batch serialization with gradient accumulation)."""
+    opt = SGD(model, lr=lr, momentum=momentum, decay_epochs=decay_epochs)
+    rng = np.random.default_rng(seed)
+    result = TrainResult(label=label)
+    n = data.x_train.shape[0]
+
+    for epoch in range(epochs):
+        opt.set_epoch(epoch)
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        for start in range(0, n - batch + 1, batch):
+            idx = order[start : start + batch]
+            xb, yb = data.x_train[idx], data.y_train[idx]
+            model.zero_grads()
+            if sub_batch is None:
+                stats = compute_gradients(model, xb, yb)
+            else:
+                stats = mbs_gradients(model, xb, yb, sub_batch)
+            opt.step(batch)
+            epoch_loss += stats.loss_sum
+        val = evaluate(model, data.x_val, data.y_val)
+        result.train_loss.append(epoch_loss / n)
+        result.val_error.append(1.0 - val.accuracy)
+        means = model.norm_output_means()
+        if not means:  # un-normalized network: probe pre-activation inputs
+            means = model.pre_activation_means()
+        keys = list(means)
+        if keys:
+            result.first_norm_mean.append(means[keys[0]])
+            result.last_norm_mean.append(means[keys[-1]])
+    return result

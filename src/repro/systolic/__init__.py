@@ -1,0 +1,12 @@
+"""Cycle-level functional systolic array (paper Sec. 4.1, Figs. 7 & 8).
+
+This package exists to *validate* the analytic tiling model of
+:mod:`repro.wavecore.tiling`: it simulates the PE grid cycle by cycle —
+weight-stationary dataflow, per-PE double-buffered weight registers with
+a propagated bank-select bit — produces bit-exact GEMM results, and
+counts exactly the cycles the analytic formulas predict.
+"""
+from repro.systolic.array import SystolicArray
+from repro.systolic.driver import GemmRun, run_gemm
+
+__all__ = ["GemmRun", "SystolicArray", "run_gemm"]

@@ -1,0 +1,123 @@
+"""PE-grid state machine: one `step()` call is one clock cycle.
+
+Dataflow (paper Fig. 7): the stationary operand B occupies one element
+per PE (bank-selected); rows of the moving operand A enter at the left
+edge — element ``A[r, i]`` is injected into array row *i* — and flow one
+column per cycle; partial sums flow one row per cycle toward the bottom,
+where finished dot products emerge column by column.
+
+Each PE has *two* weight registers (paper Fig. 8a).  Every moving A
+element carries a 1-bit bank select that chooses which register its
+multiply uses, which is exactly the paper's "select signal propagated
+along with the inputs".  Weight loading shifts a new B block in from the
+top, one row per cycle, into the bank not selected by in-flight data.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+
+class SystolicArray:
+    """Functional k(rows) × n(cols) systolic array with weight banks.
+
+    ``banks`` defaults to 2 (the paper's per-PE register pair).  The
+    driver may request more *virtual* banks: physical hardware retires a
+    bank's weights PE by PE as the drain diagonal passes, which an
+    atomic bank-commit model cannot express — extra virtual banks give
+    the same functional behaviour without altering any timing (the wave
+    schedule still encodes the two-register cost model).
+    """
+
+    def __init__(self, rows: int, cols: int, dtype=np.float64,
+                 banks: int = 2) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dims must be positive")
+        if banks < 2:
+            raise ValueError("need at least two weight banks")
+        self.rows = rows
+        self.cols = cols
+        self.dtype = dtype
+        self.weights = np.zeros((banks, rows, cols), dtype=dtype)
+        # in-flight A values and their bank-select / validity side-bands
+        self.a = np.zeros((rows, cols), dtype=dtype)
+        self.a_sel = np.zeros((rows, cols), dtype=np.int8)
+        self.a_valid = np.zeros((rows, cols), dtype=bool)
+        # partial sums flowing downward (aligned with the A diagonal)
+        self.psum = np.zeros((rows, cols), dtype=dtype)
+        self.psum_valid = np.zeros((rows, cols), dtype=bool)
+        # weight shift-in pipeline: (bank, block, cycles remaining).  The
+        # shift occupies the weight path for `rows` cycles and the bank
+        # commits atomically when the last row lands — the old contents
+        # stay usable throughout, which the paper's A-buffer sizing rule
+        # guarantees the hardware never violates.
+        self._wload_queue: list[list] = []
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    def begin_weight_load(self, bank: int, block: np.ndarray) -> None:
+        """Queue a B block (rows×cols, zero-padded by caller) for shifting
+        into ``bank``; the shift takes ``rows`` cycles."""
+        if block.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"weight block must be {(self.rows, self.cols)}, got {block.shape}"
+            )
+        self._wload_queue.append([bank, block.astype(self.dtype), self.rows])
+
+    @property
+    def loading(self) -> bool:
+        return bool(self._wload_queue)
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        a_in: np.ndarray | None = None,
+        sel_in: np.ndarray | int = 0,
+        valid_in: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance one cycle.
+
+        ``a_in`` supplies one new A element per array row at the left
+        edge (callers pre-skew rows by injecting ``A[r, i]`` at cycle
+        ``t0 + i``); ``sel_in`` gives the per-row weight-bank select that
+        travels with the data.  Returns the partial sums leaving the
+        bottom edge this cycle and their validity mask.
+        """
+        # 1. A values move one column right; new values enter at column 0
+        self.a[:, 1:] = self.a[:, :-1]
+        self.a_sel[:, 1:] = self.a_sel[:, :-1]
+        self.a_valid[:, 1:] = self.a_valid[:, :-1]
+        if a_in is None:
+            self.a[:, 0] = 0
+            self.a_valid[:, 0] = False
+        else:
+            self.a[:, 0] = a_in
+            self.a_sel[:, 0] = np.asarray(sel_in, dtype=np.int8)
+            self.a_valid[:, 0] = (
+                np.ones(self.rows, dtype=bool) if valid_in is None else valid_in
+            )
+
+        # 2. multiply-accumulate; psums flow one row down, aligned with A
+        rows_idx, cols_idx = np.indices((self.rows, self.cols), sparse=True)
+        w_sel = self.weights[self.a_sel, rows_idx, cols_idx]
+        contrib = np.where(self.a_valid, self.a * w_sel, 0.0)
+        out = self.psum[-1, :].copy()
+        out_valid = self.psum_valid[-1, :].copy()
+        self.psum[1:, :] = self.psum[:-1, :]
+        self.psum_valid[1:, :] = self.psum_valid[:-1, :]
+        self.psum[0, :] = 0.0
+        self.psum_valid[0, :] = False
+        self.psum += contrib
+        self.psum_valid |= self.a_valid
+
+        # 3. weight shift-in progress (one row per cycle through the
+        #    dedicated weight path); the bank commits at end of cycle,
+        #    after this cycle's multiplies used the old contents.
+        if self._wload_queue:
+            entry = self._wload_queue[0]
+            entry[2] -= 1
+            if entry[2] == 0:
+                self.weights[entry[0]] = entry[1]
+                self._wload_queue.pop(0)
+
+        self.cycle += 1
+        return out, out_valid

@@ -1,0 +1,147 @@
+"""Wave/tile orchestration on the functional array (paper Fig. 7).
+
+The driver blocks ``C = A @ B`` into m×n output tiles, runs each tile as
+``ceil(K/k)`` waves, and schedules wave starts exactly like the analytic
+model of :mod:`repro.wavecore.tiling`:
+
+* conventional mode — the weight fill of each wave is exposed: a wave's
+  stream starts k cycles after the previous wave's injections end;
+* double-buffered mode — the next wave's B block shifts into the idle
+  bank while the current wave streams, so consecutive wave starts are
+  ``max(m_t, k)`` cycles apart.
+
+Both modes run the same functional array; the *cost model* (wave start
+spacing) is the only difference between them — which is precisely the
+paper's Fig. 8 claim.  Functionally the simulator rotates over several
+virtual weight banks: physical hardware retires a bank PE by PE as the
+drain diagonal passes (enabled by the paper's A-buffer sizing rule, "A
+blocks need to be twice as large as B blocks"), which an atomic
+bank-commit model reproduces by simply keeping a few more banks live.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.systolic.array import SystolicArray
+from repro.types import ceil_div
+
+
+@dataclass(frozen=True)
+class GemmRun:
+    """Outcome of a functional GEMM run."""
+
+    result: np.ndarray
+    cycles: int
+    macs: int
+    pe_count: int
+
+    @property
+    def utilization(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.macs / (self.cycles * self.pe_count)
+
+
+def run_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    rows: int,
+    cols: int,
+    tile_rows: int,
+    double_buffer: bool = True,
+) -> GemmRun:
+    """Compute ``a @ b`` on a rows×cols array, counting exact cycles."""
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible GEMM operands {a.shape} x {b.shape}")
+    if tile_rows <= 0:
+        raise ValueError("tile_rows must be positive")
+    m_total, k_total = a.shape
+    n_total = b.shape[1]
+    # Virtual banks: enough that a bank is never refilled while data that
+    # selected it is still draining (see SystolicArray docstring); the
+    # wave schedule below is what carries the two-register cost model.
+    n_banks = 8
+    arr = SystolicArray(rows, cols, dtype=np.float64, banks=n_banks)
+    a = a.astype(np.float64)
+    b = b.astype(np.float64)
+
+    waves = ceil_div(k_total, rows)
+    col_tiles = ceil_div(n_total, cols)
+    row_tiles = ceil_div(m_total, tile_rows)
+
+    # ------------------------------------------------------------------
+    # wave schedule: stream starts spaced per the mode's cost model
+    # ------------------------------------------------------------------
+    wave_seq: list[tuple[int, int, int, int]] = []  # (start, rt, w, ct)
+    start = rows  # the first weight fill
+    prev_len = None
+    for ct in range(col_tiles):
+        for rt in range(row_tiles):
+            m_t = min(tile_rows, m_total - rt * tile_rows)
+            for w in range(waves):
+                if prev_len is not None:
+                    if double_buffer:
+                        start = start + max(prev_len, rows)
+                    else:
+                        start = start + prev_len + rows
+                wave_seq.append((start, rt, w, ct))
+                prev_len = m_t
+
+    # injections: cycle of each A-row start → (global row, wave, col tile,
+    # weight bank); loads: cycle → (bank, padded B block)
+    injections: dict[int, tuple[int, int, int, int]] = {}
+    loads: dict[int, tuple[int, np.ndarray]] = {}
+    bank = 0
+    for s, rt, w, ct in wave_seq:
+        m_t = min(tile_rows, m_total - rt * tile_rows)
+        block = np.zeros((rows, cols))
+        k_lo, k_hi = w * rows, min(k_total, (w + 1) * rows)
+        n_lo, n_hi = ct * cols, min(n_total, (ct + 1) * cols)
+        block[: k_hi - k_lo, : n_hi - n_lo] = b[k_lo:k_hi, n_lo:n_hi]
+        loads[s - rows] = (bank, block)
+        for step in range(m_t):
+            injections[s + step] = (rt * tile_rows + step, w, ct, bank)
+        bank = (bank + 1) % n_banks
+
+    last_t0 = max(injections)
+    total_cycles = last_t0 + rows + cols  # final drain
+    c = np.zeros((m_total, n_total))
+
+    # ------------------------------------------------------------------
+    # run the array cycle by cycle
+    # ------------------------------------------------------------------
+    for cycle in range(total_cycles):
+        if cycle in loads:
+            lbank, block = loads[cycle]
+            arr.begin_weight_load(lbank, block)
+        a_vec = np.zeros(rows)
+        v_vec = np.zeros(rows, dtype=bool)
+        sel_vec = np.zeros(rows, dtype=np.int8)
+        for i in range(rows):
+            t0 = cycle - i
+            if t0 in injections:
+                r, w, ct, wbank = injections[t0]
+                k_idx = w * rows + i
+                if k_idx < k_total:
+                    a_vec[i] = a[r, k_idx]
+                v_vec[i] = True
+                sel_vec[i] = wbank
+        out, out_valid = arr.step(
+            a_vec if v_vec.any() else None, sel_vec, v_vec if v_vec.any() else None
+        )
+        for j in range(cols):
+            t0 = cycle - rows - j
+            if t0 in injections and out_valid[j]:
+                r, w, ct, _ = injections[t0]
+                n_idx = ct * cols + j
+                if n_idx < n_total:
+                    c[r, n_idx] += out[j]
+
+    return GemmRun(
+        result=c,
+        cycles=total_cycles,
+        macs=m_total * n_total * k_total,
+        pe_count=rows * cols,
+    )

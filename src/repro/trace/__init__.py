@@ -1,0 +1,18 @@
+"""Execution tracing: the "hooks" validation layer.
+
+Wraps the NumPy substrate to record the *actual* tensor volumes that flow
+through every layer during a real forward/backward pass, then derives the
+DRAM traffic a conventional (Baseline) schedule would generate from those
+volumes.  Tests assert this agrees exactly with the analytic model of
+:mod:`repro.core.traffic` — closing the loop between the scheduler's
+byte accounting and genuinely executed shapes.
+"""
+from repro.trace.hooks import TraceEvent, trace_training_step
+from repro.trace.analyze import baseline_traffic_from_trace, crosscheck_baseline
+
+__all__ = [
+    "TraceEvent",
+    "baseline_traffic_from_trace",
+    "crosscheck_baseline",
+    "trace_training_step",
+]

@@ -1,0 +1,87 @@
+"""Record per-layer tensor volumes from a real training step."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.layers import LayerKind
+from repro.nn.loss import softmax_cross_entropy
+from repro.nn.model import NetworkModel
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One layer execution: actual element counts that moved."""
+
+    layer: str
+    kind: str
+    phase: str  # "forward" | "backward"
+    in_elems: int
+    out_elems: int
+    param_elems: int
+
+
+def trace_training_step(
+    model: NetworkModel, x: np.ndarray, y: np.ndarray
+) -> list[TraceEvent]:
+    """Run one full training step, recording every module's data flow.
+
+    Modules are temporarily wrapped; the numerical results are identical
+    to an untraced step (the wrapper only observes shapes).
+    """
+    events: list[TraceEvent] = []
+    originals: list[tuple[object, object, object]] = []
+
+    for module in model.modules():
+        spec = module.spec
+        param_elems = sum(p.size for p in module.params.values())
+        fwd, bwd = module.forward, module.backward
+
+        def make_fwd(m=module, s=spec, f=fwd, pe=param_elems):
+            def traced_forward(xx, training=True):
+                yy = f(xx, training)
+                events.append(
+                    TraceEvent(
+                        layer=s.name,
+                        kind=s.kind.value,
+                        phase="forward",
+                        in_elems=int(np.prod(xx.shape)),
+                        out_elems=int(np.prod(yy.shape)),
+                        param_elems=pe,
+                    )
+                )
+                return yy
+
+            return traced_forward
+
+        def make_bwd(m=module, s=spec, b=bwd, pe=param_elems):
+            def traced_backward(dy):
+                dx = b(dy)
+                events.append(
+                    TraceEvent(
+                        layer=s.name,
+                        kind=s.kind.value,
+                        phase="backward",
+                        in_elems=int(np.prod(dx.shape)),
+                        out_elems=int(np.prod(dy.shape)),
+                        param_elems=pe,
+                    )
+                )
+                return dx
+
+            return traced_backward
+
+        originals.append((module, fwd, bwd))
+        module.forward = make_fwd()
+        module.backward = make_bwd()
+
+    try:
+        logits = model.forward(x, training=True)
+        _, dlogits, _ = softmax_cross_entropy(logits, y)
+        model.backward(dlogits)
+    finally:
+        for module, fwd, bwd in originals:
+            module.forward = fwd
+            module.backward = bwd
+    return events

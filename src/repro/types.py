@@ -1,0 +1,62 @@
+"""Shared constants and primitive value types used across the library.
+
+The paper evaluates with 16-bit floating point storage for features and
+weights (mixed precision: 16-bit multiply, 32-bit accumulate).  All byte
+accounting in the scheduler and simulator uses these constants so that a
+single knob controls the precision assumptions.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes per stored word (features, weights) — fp16 per the paper (Sec. 5).
+WORD_BYTES: int = 2
+
+#: Bytes per accumulator word (partial sums are kept in 32-bit).
+ACCUM_BYTES: int = 4
+
+#: Bits per ReLU-gradient mask entry under MBS (Sec. 3, "Back Propagation").
+RELU_MASK_BITS: int = 1
+
+#: Bytes per max-pool argmax index stored for the backward pass.
+POOL_INDEX_BYTES: int = 1
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Shape:
+    """Per-sample feature-map shape in CHW layout.
+
+    ``Shape(0, 0, 0)`` is never valid; fully-connected features are
+    represented as ``Shape(c, 1, 1)``.
+    """
+
+    c: int
+    h: int
+    w: int
+
+    def __post_init__(self) -> None:
+        if self.c <= 0 or self.h <= 0 or self.w <= 0:
+            raise ValueError(f"invalid shape {self!r}: all dims must be positive")
+
+    @property
+    def elems(self) -> int:
+        """Number of scalar elements per sample."""
+        return self.c * self.h * self.w
+
+    def bytes(self, word_bytes: int = WORD_BYTES) -> int:
+        """Storage footprint per sample in bytes."""
+        return self.elems * word_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.c}x{self.h}x{self.w}"
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division; ``b`` must be positive."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)

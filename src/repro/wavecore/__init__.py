@@ -1,0 +1,38 @@
+"""WaveCore: systolic-array CNN training accelerator model (paper Sec. 4)."""
+from repro.wavecore.config import (
+    GDDR5,
+    HBM2,
+    HBM2_X2,
+    LPDDR4,
+    MEMORY_CONFIGS,
+    MemoryConfig,
+    WaveCoreConfig,
+)
+from repro.wavecore.gemm import GemmDims, conv_gemm, fc_gemm
+from repro.wavecore.tiling import gemm_cycles, gemm_utilization
+from repro.wavecore.simulator import simulate_step
+from repro.wavecore.report import StepReport
+from repro.wavecore.gpu import GpuConfig, V100, simulate_gpu_step
+from repro.wavecore.area import estimate_area, estimate_power
+
+__all__ = [
+    "GDDR5",
+    "GemmDims",
+    "GpuConfig",
+    "HBM2",
+    "HBM2_X2",
+    "LPDDR4",
+    "MEMORY_CONFIGS",
+    "MemoryConfig",
+    "StepReport",
+    "V100",
+    "WaveCoreConfig",
+    "conv_gemm",
+    "estimate_area",
+    "estimate_power",
+    "fc_gemm",
+    "gemm_cycles",
+    "gemm_utilization",
+    "simulate_gpu_step",
+    "simulate_step",
+]

@@ -1,0 +1,75 @@
+"""Area and power estimation (paper Tab. 2).
+
+Per-component constants reproduce the paper's published estimates at
+32 nm: each PE occupies 12,173 µm² (multiplier + adder dominate), the
+128×128 array 199.45 mm² per core, the 10 MiB global buffer 18.65 mm²
+per core, the vector units 4.33 mm², and the crossbar/NoC/controllers
+make up the remainder of the 534.0 mm² two-core chip.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import MIB
+from repro.wavecore.config import WaveCoreConfig
+from repro.wavecore.energy import DEFAULT_ENERGY, EnergyParams
+
+#: Published per-PE area at 32 nm (µm²) — Kim et al. flip-flops plus
+#: Hickmann et al. multiply/add, per the paper's methodology.
+PE_AREA_UM2 = 12_173.0
+#: Global buffer area per MiB (mm²): 18.65 mm² for 10 MiB.
+GBUF_MM2_PER_MIB = 1.865
+#: Vector compute units per core (mm²).
+VECTOR_MM2 = 4.33
+#: Crossbar, NoC, memory controllers and padding for the 2-core chip (mm²).
+UNCORE_MM2 = 89.14
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    pe_array_mm2: float
+    global_buffer_mm2: float
+    vector_mm2: float
+    uncore_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (
+            self.pe_array_mm2
+            + self.global_buffer_mm2
+            + self.vector_mm2
+            + self.uncore_mm2
+        )
+
+
+def estimate_area(cfg: WaveCoreConfig) -> AreaEstimate:
+    """Die area of the configured chip (both cores)."""
+    pe = cfg.cores * cfg.pe_count * PE_AREA_UM2 * 1e-6
+    gbuf = cfg.cores * (cfg.global_buffer_bytes / MIB) * GBUF_MM2_PER_MIB
+    vector = cfg.cores * VECTOR_MM2
+    return AreaEstimate(
+        pe_array_mm2=pe,
+        global_buffer_mm2=gbuf,
+        vector_mm2=vector,
+        uncore_mm2=UNCORE_MM2,
+    )
+
+
+def estimate_power(
+    cfg: WaveCoreConfig, params: EnergyParams = DEFAULT_ENERGY
+) -> float:
+    """Peak chip power in watts.
+
+    Follows the paper's methodology: a convolution layer at 100 %
+    systolic utilization with realistic activation sparsity (zero-operand
+    MACs are skipped), plus buffer streaming and static power.
+    """
+    macs_per_s = cfg.cores * cfg.peak_macs_per_s
+    mac_pj = params.mac_pj
+    if cfg.zero_skip:
+        mac_pj *= 1.0 - params.zero_input_fraction * params.zero_skip_saving
+    compute_w = macs_per_s * mac_pj * 1e-12
+    # at peak, operands stream from the local/global buffers each cycle
+    stream_bytes_per_s = cfg.cores * cfg.array_rows * cfg.clock_hz * 2 * 2
+    gbuf_w = stream_bytes_per_s * params.gbuf_pj_per_byte * 1e-12
+    return compute_w + gbuf_w + params.static_w

@@ -1,0 +1,100 @@
+"""WaveCore hardware configuration (paper Sec. 4.2, Tab. 2 and Tab. 4)."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.types import GIB, KIB, MIB
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Off-chip memory option (paper Tab. 4).
+
+    ``bandwidth`` and ``capacity`` are chip-level totals; WaveCore splits
+    them evenly between its two cores.  ``energy_pj_per_bit`` feeds the
+    energy model (access energy incl. I/O, representative published
+    values).
+    """
+
+    name: str
+    bandwidth_bytes_per_s: float
+    capacity_bytes: int
+    channels: int
+    energy_pj_per_bit: float
+
+
+HBM2 = MemoryConfig("HBM2", 300 * GIB, 8 * GIB, 8, 3.9)
+HBM2_X2 = MemoryConfig("HBM2x2", 600 * GIB, 16 * GIB, 16, 3.9)
+GDDR5 = MemoryConfig("GDDR5", 384 * GIB, 12 * GIB, 12, 14.0)
+LPDDR4 = MemoryConfig("LPDDR4", int(239.2 * GIB), 16 * GIB, 8, 6.0)
+
+MEMORY_CONFIGS = {m.name: m for m in (HBM2, HBM2_X2, GDDR5, LPDDR4)}
+
+
+@dataclass(frozen=True)
+class WaveCoreConfig:
+    """One WaveCore chip: two systolic cores plus the memory system.
+
+    ``weight_double_buffer`` is the ArchOpt feature (Fig. 8): per-PE
+    second weight register that removes the k-cycle inter-wave fill.
+    """
+
+    cores: int = 2
+    array_rows: int = 128  # k: systolic array height (K dimension)
+    array_cols: int = 128  # n: systolic array width (Gw dimension)
+    clock_hz: float = 0.7e9
+    global_buffer_bytes: int = 10 * MIB  # per core
+    accum_buffer_bytes: int = 128 * KIB  # one of three accumulation parts
+    local_a_buffer_bytes: int = 64 * KIB  # half-buffer for the A operand
+    local_b_buffer_bytes: int = 32 * KIB  # half-buffer for the B operand
+    weight_double_buffer: bool = True
+    vector_lanes: int = 512  # per-core vector units for norm/pool/act
+    zero_skip: bool = True
+    memory: MemoryConfig = HBM2
+
+    @property
+    def tile_rows(self) -> int:
+        """Tile height m: the accumulation buffer holds an m×n fp32 tile."""
+        return max(1, self.accum_buffer_bytes // (self.array_cols * 4))
+
+    @property
+    def pe_count(self) -> int:
+        return self.array_rows * self.array_cols
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        """Per-core peak multiply-accumulates per second."""
+        return self.pe_count * self.clock_hz
+
+    @property
+    def core_bandwidth(self) -> float:
+        """DRAM bandwidth available to one core."""
+        return self.memory.bandwidth_bytes_per_s / self.cores
+
+    def with_memory(self, memory: MemoryConfig | str) -> "WaveCoreConfig":
+        if isinstance(memory, str):
+            memory = MEMORY_CONFIGS[memory]
+        return replace(self, memory=memory)
+
+    def with_buffer(self, buffer_bytes: int) -> "WaveCoreConfig":
+        return replace(self, global_buffer_bytes=buffer_bytes)
+
+    def with_double_buffer(self, enabled: bool) -> "WaveCoreConfig":
+        return replace(self, weight_double_buffer=enabled)
+
+
+#: The paper's default accelerator (ArchOpt and all MBS rows of Tab. 3).
+DEFAULT_CONFIG = WaveCoreConfig()
+
+#: The Baseline row of Tab. 3: no weight double buffering.
+BASELINE_CONFIG = WaveCoreConfig(weight_double_buffer=False)
+
+
+def config_for_policy(policy: str, memory: MemoryConfig | str = HBM2,
+                      buffer_bytes: int | None = None) -> WaveCoreConfig:
+    """Accelerator config matching a Tab. 3 evaluation row."""
+    cfg = BASELINE_CONFIG if policy.lower() == "baseline" else DEFAULT_CONFIG
+    cfg = cfg.with_memory(memory)
+    if buffer_bytes is not None:
+        cfg = cfg.with_buffer(buffer_bytes)
+    return cfg

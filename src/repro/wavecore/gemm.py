@@ -1,0 +1,66 @@
+"""im2col GEMM dimensions per training phase (paper Tab. 1).
+
+==============  ===========  =====  ===========
+Phase           Gh           Gw     K
+==============  ===========  =====  ===========
+Forward         N·Ho·Wo      Co     Ci·R·S
+Data gradient   N·Hi·Wi      Ci     Co·R·S
+Weight gradient Ci·R·S       Co     N·Ho·Wo
+==============  ===========  =====  ===========
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.graph.layers import Conv2D, FullyConnected
+
+
+class GemmPhase(enum.Enum):
+    FORWARD = "forward"
+    DATA_GRAD = "data_grad"
+    WEIGHT_GRAD = "weight_grad"
+
+
+@dataclass(frozen=True)
+class GemmDims:
+    """General matrix multiply of a (Gh×K) by a (K×Gw) operand."""
+
+    gh: int
+    gw: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.gh <= 0 or self.gw <= 0 or self.k <= 0:
+            raise ValueError(f"GEMM dims must be positive: {self}")
+
+    @property
+    def macs(self) -> int:
+        return self.gh * self.gw * self.k
+
+
+def conv_gemm(layer: Conv2D, sub_batch: int, phase: GemmPhase) -> GemmDims:
+    """GEMM dimensions of one convolution pass over ``sub_batch`` samples."""
+    if sub_batch <= 0:
+        raise ValueError(f"sub_batch must be positive, got {sub_batch}")
+    o = layer.out_shape
+    i = layer.in_shape
+    r, s = layer.kernel
+    if phase is GemmPhase.FORWARD:
+        return GemmDims(gh=sub_batch * o.h * o.w, gw=o.c, k=i.c * r * s)
+    if phase is GemmPhase.DATA_GRAD:
+        return GemmDims(gh=sub_batch * i.h * i.w, gw=i.c, k=o.c * r * s)
+    return GemmDims(gh=i.c * r * s, gw=o.c, k=sub_batch * o.h * o.w)
+
+
+def fc_gemm(layer: FullyConnected, sub_batch: int, phase: GemmPhase) -> GemmDims:
+    """GEMM dimensions of one fully-connected pass (R = S = H = W = 1)."""
+    if sub_batch <= 0:
+        raise ValueError(f"sub_batch must be positive, got {sub_batch}")
+    fan_in = layer.in_shape.elems
+    fan_out = layer.out_features
+    if phase is GemmPhase.FORWARD:
+        return GemmDims(gh=sub_batch, gw=fan_out, k=fan_in)
+    if phase is GemmPhase.DATA_GRAD:
+        return GemmDims(gh=sub_batch, gw=fan_in, k=fan_out)
+    return GemmDims(gh=fan_in, gw=fan_out, k=sub_batch)

@@ -1,0 +1,87 @@
+"""Result containers for simulated training steps."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Timing of one layer in one phase on one core."""
+
+    block: str
+    layer: str
+    kind: str
+    phase: str
+    compute_cycles: int
+    macs: int
+    dram_bytes: int
+    compute_s: float
+    dram_s: float
+
+    @property
+    def time_s(self) -> float:
+        """Per-layer time with double-buffered compute/memory overlap."""
+        return max(self.compute_s, self.dram_s)
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_s >= self.dram_s else "memory"
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Chip-level energy of one training step, by component (Joules)."""
+
+    dram_j: float
+    gbuf_j: float
+    compute_j: float
+    static_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.dram_j + self.gbuf_j + self.compute_j + self.static_j
+
+    def share(self, component: str) -> float:
+        value = getattr(self, f"{component}_j")
+        return value / self.total_j if self.total_j else 0.0
+
+
+@dataclass
+class StepReport:
+    """Complete outcome of one simulated training step.
+
+    Per-core quantities (`dram_bytes`, `gbuf_bytes`, layer timings) cover
+    one core's share of the mini-batch; ``time_s`` is the step latency
+    (cores run data-parallel); energy is chip-level (both cores).
+    """
+
+    network: str
+    policy: str
+    memory: str
+    cores: int
+    time_s: float
+    dram_bytes: int
+    gbuf_bytes: int
+    macs: int
+    systolic_cycles: int
+    #: PE busy fraction over systolic (conv/FC) execution — Fig. 14's metric.
+    utilization: float = 0.0
+    layers: list[LayerTiming] = field(default_factory=list)
+    energy: EnergyBreakdown | None = None
+
+    @property
+    def chip_dram_bytes(self) -> int:
+        return self.dram_bytes * self.cores
+
+    def time_by_kind(self) -> dict[str, float]:
+        """Execution-time breakdown by layer kind (Fig. 12's stacking)."""
+        out: dict[str, float] = {}
+        for lt in self.layers:
+            out[lt.kind] = out.get(lt.kind, 0.0) + lt.time_s
+        return out
+
+    def time_by_phase(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for lt in self.layers:
+            out[lt.phase] = out.get(lt.phase, 0.0) + lt.time_s
+        return out

@@ -1,0 +1,92 @@
+"""Multi-accelerator scaling model (paper Sec. 4.2, "Scalability").
+
+"Compute throughput can be easily scaled with larger mini-batches
+distributed across multiple accelerators or additional cores.  As each
+accelerator or core conducts the same job, we can use MBS within each
+WaveCore and only communicate for loss computation and parameter
+reduction and update."
+
+We model synchronous data parallelism: every chip trains its own
+per-chip mini-batch with the local MBS schedule, then the weight
+gradients are combined with a ring all-reduce over the inter-chip links
+and the optimizer updates parameters everywhere.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies import make_schedule
+from repro.graph.network import Network
+from repro.types import WORD_BYTES
+from repro.wavecore.config import WaveCoreConfig, config_for_policy
+from repro.wavecore.simulator import simulate_step
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Chip-to-chip link (NVLink-class by default)."""
+
+    link_bandwidth_bytes_per_s: float = 50e9
+    link_latency_s: float = 2e-6
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    chips: int
+    global_batch: int
+    compute_s: float
+    allreduce_s: float
+
+    @property
+    def step_s(self) -> float:
+        return self.compute_s + self.allreduce_s
+
+    @property
+    def samples_per_s(self) -> float:
+        return self.global_batch / self.step_s
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Weak-scaling efficiency vs a single chip with no reduction."""
+        single = self.global_batch / self.chips / self.compute_s
+        return (self.samples_per_s / self.chips) / single
+
+
+def ring_allreduce_time(
+    payload_bytes: int, chips: int, link: InterconnectConfig
+) -> float:
+    """Bandwidth-optimal ring all-reduce: 2(P-1)/P payload per link."""
+    if chips <= 1:
+        return 0.0
+    volume = 2.0 * (chips - 1) / chips * payload_bytes
+    steps = 2 * (chips - 1)
+    return volume / link.link_bandwidth_bytes_per_s + steps * link.link_latency_s
+
+
+def weak_scaling(
+    net: Network,
+    policy: str = "mbs2",
+    chips: tuple[int, ...] = (1, 2, 4, 8, 16),
+    cfg: WaveCoreConfig | None = None,
+    link: InterconnectConfig = InterconnectConfig(),
+    word_bytes: int = WORD_BYTES,
+) -> list[ScalingPoint]:
+    """Weak scaling: the per-chip mini-batch stays fixed, the global
+    batch grows with the chip count."""
+    if cfg is None:
+        cfg = config_for_policy(policy)
+    sched = make_schedule(net, "baseline" if policy == "archopt" else policy)
+    rep = simulate_step(net, sched, cfg)
+    grad_bytes = net.param_count * word_bytes
+    per_chip_batch = net.default_mini_batch * cfg.cores
+    out = []
+    for p in chips:
+        out.append(
+            ScalingPoint(
+                chips=p,
+                global_batch=per_chip_batch * p,
+                compute_s=rep.time_s,
+                allreduce_s=ring_allreduce_time(grad_bytes, p, link),
+            )
+        )
+    return out

@@ -1,0 +1,104 @@
+"""WaveCore training-step simulator: traffic + timing + energy, end to end."""
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.core.traffic import Phase, TrafficOptions, TrafficReport, compute_traffic
+from repro.graph.network import Network
+from repro.wavecore.config import WaveCoreConfig, config_for_policy
+from repro.wavecore.energy import DEFAULT_ENERGY, EnergyParams, step_energy
+from repro.wavecore.report import LayerTiming, StepReport
+from repro.wavecore.timing import gbuf_bytes_for_layer, layer_compute, per_layer_dram
+
+
+def simulate_step(
+    net: Network,
+    sched: Schedule,
+    cfg: WaveCoreConfig | None = None,
+    traffic: TrafficReport | None = None,
+    energy_params: EnergyParams = DEFAULT_ENERGY,
+    unlimited_bandwidth: bool = False,
+) -> StepReport:
+    """Simulate one training step of ``net`` under ``sched`` on ``cfg``.
+
+    One core is simulated (cores run data-parallel on disjoint samples);
+    energy and chip traffic scale by the core count.
+    ``unlimited_bandwidth`` zeroes memory time to isolate compute
+    utilization (the Fig. 14 methodology).
+    """
+    if cfg is None:
+        cfg = config_for_policy(sched.policy)
+    if traffic is None:
+        traffic = compute_traffic(net, sched, TrafficOptions())
+
+    dram_map = per_layer_dram(net, traffic)
+    core_bw = cfg.core_bandwidth
+
+    layers: list[LayerTiming] = []
+    total_cycles = 0
+    total_macs = 0
+    total_gbuf = 0
+    time_s = 0.0
+
+    first_layer_name = net.blocks[0].all_layers()[0].name
+    for idx, block in enumerate(net.blocks):
+        group = sched.group_of_block(idx)
+        sub_batch = group.sub_batch if sched.block_fused(idx) else 0
+        for phase in (Phase.FWD, Phase.BWD):
+            for layer in block.all_layers():
+                comp = layer_compute(
+                    layer, phase, sched.mini_batch, sub_batch, cfg,
+                    skip_data_grad=(idx == 0 and layer.name == first_layer_name),
+                )
+                dram = dram_map.get((block.name, layer.name, phase), 0)
+                compute_s = (
+                    comp.cycles / cfg.clock_hz if comp.is_systolic else comp.vector_s
+                )
+                dram_s = 0.0 if unlimited_bandwidth else dram / core_bw
+                lt = LayerTiming(
+                    block=block.name,
+                    layer=layer.name,
+                    kind=layer.kind.value,
+                    phase=phase.value,
+                    compute_cycles=comp.cycles,
+                    macs=comp.macs,
+                    dram_bytes=dram,
+                    compute_s=compute_s,
+                    dram_s=dram_s,
+                )
+                layers.append(lt)
+                total_cycles += comp.cycles
+                total_macs += comp.macs
+                total_gbuf += gbuf_bytes_for_layer(
+                    layer, phase, sched.mini_batch, sub_batch, cfg
+                )
+                time_s += lt.time_s
+
+    utilization = (
+        total_macs / (total_cycles * cfg.pe_count) if total_cycles else 0.0
+    )
+    # DRAM traffic also streams through the global buffer on its way to
+    # the local buffers.
+    total_gbuf += traffic.total_bytes
+
+    report = StepReport(
+        network=net.name,
+        policy=sched.policy,
+        memory=cfg.memory.name,
+        cores=cfg.cores,
+        time_s=time_s,
+        dram_bytes=traffic.total_bytes,
+        gbuf_bytes=total_gbuf,
+        macs=total_macs,
+        systolic_cycles=total_cycles,
+        utilization=utilization,
+        layers=layers,
+    )
+    report.energy = step_energy(
+        cfg,
+        time_s,
+        chip_dram_bytes=report.chip_dram_bytes,
+        chip_gbuf_bytes=total_gbuf * cfg.cores,
+        chip_macs=total_macs * cfg.cores,
+        params=energy_params,
+    )
+    return report

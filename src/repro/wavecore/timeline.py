@@ -1,0 +1,96 @@
+"""Per-group execution timelines: when each MBS group runs, per phase.
+
+Reconstructs the Fig. 5 execution order as a timeline: forward processes
+groups 1..G (each looping over its sub-batch iterations), backward
+processes them in reverse.  Segment durations come from the same
+per-layer timing model as :func:`repro.wavecore.simulator.simulate_step`,
+so the timeline total equals the simulated step time exactly.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.core.traffic import Phase, TrafficOptions, compute_traffic
+from repro.graph.network import Network
+from repro.wavecore.config import WaveCoreConfig, config_for_policy
+from repro.wavecore.simulator import simulate_step
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One group's execution in one phase."""
+
+    group_index: int
+    phase: str
+    start_s: float
+    duration_s: float
+    iterations: int
+    sub_batch: int
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+def build_timeline(
+    net: Network,
+    sched: Schedule,
+    cfg: WaveCoreConfig | None = None,
+) -> list[TimelineSegment]:
+    """Group-level Gantt data for one training step."""
+    if cfg is None:
+        cfg = config_for_policy(sched.policy)
+    report = simulate_step(net, sched, cfg)
+
+    # per (block, phase) time from the simulated layers
+    block_time: dict[tuple[str, str], float] = {}
+    for lt in report.layers:
+        key = (lt.block, lt.phase)
+        block_time[key] = block_time.get(key, 0.0) + lt.time_s
+
+    block_names = [b.name for b in net.blocks]
+    segments: list[TimelineSegment] = []
+    clock = 0.0
+    for gi, group in enumerate(sched.groups):
+        duration = sum(
+            block_time.get((block_names[i], Phase.FWD.value), 0.0)
+            for i in group.blocks
+        )
+        segments.append(TimelineSegment(
+            group_index=gi, phase="forward", start_s=clock,
+            duration_s=duration, iterations=group.iterations,
+            sub_batch=group.sub_batch,
+        ))
+        clock += duration
+    for gi in reversed(range(len(sched.groups))):
+        group = sched.groups[gi]
+        duration = sum(
+            block_time.get((block_names[i], Phase.BWD.value), 0.0)
+            for i in group.blocks
+        )
+        segments.append(TimelineSegment(
+            group_index=gi, phase="backward", start_s=clock,
+            duration_s=duration, iterations=group.iterations,
+            sub_batch=group.sub_batch,
+        ))
+        clock += duration
+    return segments
+
+
+def render_timeline(segments: list[TimelineSegment], width: int = 64) -> str:
+    """ASCII Gantt chart of the step timeline."""
+    if not segments:
+        return "(empty timeline)"
+    total = segments[-1].end_s
+    lines = [f"training step timeline ({total * 1e3:.1f} ms total)"]
+    for seg in segments:
+        lo = int(seg.start_s / total * width) if total else 0
+        hi = max(lo + 1, int(seg.end_s / total * width)) if total else 1
+        bar = " " * lo + "#" * (hi - lo)
+        lines.append(
+            f"  G{seg.group_index + 1} {seg.phase[:3]} "
+            f"(s={seg.sub_batch:>2}, i={seg.iterations:>2}) "
+            f"|{bar:<{width}}| {seg.duration_s * 1e3:7.2f} ms"
+        )
+    return "\n".join(lines)

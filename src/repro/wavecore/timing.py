@@ -1,0 +1,167 @@
+"""Per-layer timing: systolic GEMMs for conv/FC, vector units for the rest.
+
+The timing contract (Sec. 4.2): local buffers are double-buffered, so a
+layer's DRAM transfers overlap its computation — per-layer time is
+``max(compute, memory)``.  Layers execute in dependency order, so step
+time is the sum of layer times.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.core.traffic import Phase, TrafficReport
+from repro.core.subbatch import sub_batch_sequence
+from repro.graph.blocks import Block
+from repro.graph.layers import Conv2D, FullyConnected, Layer, LayerKind
+from repro.graph.network import Network
+from repro.wavecore.config import WaveCoreConfig
+from repro.wavecore.gemm import GemmPhase, conv_gemm, fc_gemm
+from repro.wavecore.tiling import gemm_cycles
+
+#: Vector-unit passes over the data per layer kind and phase.  Norm layers
+#: iterate twice in forward (statistics, then normalize) and several times
+#: in backward (reductions plus the gradient expression).
+_VECTOR_PASSES = {
+    (LayerKind.NORM, Phase.FWD): 2.0,
+    (LayerKind.NORM, Phase.BWD): 3.0,
+    (LayerKind.ACT, Phase.FWD): 1.0,
+    (LayerKind.ACT, Phase.BWD): 1.0,
+    (LayerKind.POOL, Phase.FWD): 1.0,
+    (LayerKind.POOL, Phase.BWD): 1.0,
+    (LayerKind.ADD, Phase.FWD): 2.0,  # reads two operands
+    (LayerKind.ADD, Phase.BWD): 1.0,
+}
+
+
+@dataclass(frozen=True)
+class LayerCompute:
+    cycles: int  # systolic cycles (conv/FC only)
+    vector_s: float  # vector-unit time (other kinds)
+    macs: int
+
+    @property
+    def is_systolic(self) -> bool:
+        return self.cycles > 0
+
+
+def _gemm_phases(phase: Phase, skip_data_grad: bool = False) -> list[GemmPhase]:
+    if phase is Phase.FWD:
+        return [GemmPhase.FORWARD]
+    if skip_data_grad:
+        # the first layer of the network never propagates a gradient to
+        # the input images
+        return [GemmPhase.WEIGHT_GRAD]
+    return [GemmPhase.DATA_GRAD, GemmPhase.WEIGHT_GRAD]
+
+
+def layer_compute(
+    layer: Layer,
+    phase: Phase,
+    mini_batch: int,
+    sub_batch: int,
+    cfg: WaveCoreConfig,
+    skip_data_grad: bool = False,
+) -> LayerCompute:
+    """Compute cost of one layer in one phase across all sub-batch
+    iterations (``sub_batch`` 0 means a single full-mini-batch pass)."""
+    if layer.kind in (LayerKind.CONV, LayerKind.FC):
+        sizes = sub_batch_sequence(mini_batch, sub_batch)
+        # the sequence has at most two distinct sizes: count each once
+        counts: dict[int, int] = {}
+        for s in sizes:
+            counts[s] = counts.get(s, 0) + 1
+        cycles = 0
+        macs = 0
+        for s, count in counts.items():
+            for gp in _gemm_phases(phase, skip_data_grad):
+                dims = (
+                    conv_gemm(layer, s, gp)
+                    if isinstance(layer, Conv2D)
+                    else fc_gemm(layer, s, gp)
+                )
+                t = gemm_cycles(dims, cfg)
+                cycles += count * t.cycles
+                macs += count * t.macs
+        return LayerCompute(cycles=cycles, vector_s=0.0, macs=macs)
+
+    passes = _VECTOR_PASSES.get((layer.kind, phase), 1.0)
+    elems = layer.out_shape.elems * mini_batch
+    vector_s = passes * elems / (cfg.vector_lanes * cfg.clock_hz)
+    return LayerCompute(cycles=0, vector_s=vector_s, macs=0)
+
+
+def per_layer_dram(
+    net: Network, report: TrafficReport
+) -> dict[tuple[str, str, Phase], int]:
+    """Attribute DRAM traffic records to concrete layers for timing.
+
+    Traffic records carry either a real layer name, a ``<layer>.out``
+    tensor name, or a block-level name (``<block>.in`` / ``<block>.out`` /
+    fork markers).  Block-level forward input traffic executes while the
+    first layer streams in; output traffic while the last layer drains —
+    and symmetrically in backward.
+    """
+    layer_names: dict[str, set[str]] = {}
+    first_layer: dict[str, str] = {}
+    last_layer: dict[str, str] = {}
+    for block in net.blocks:
+        layers = block.all_layers()
+        layer_names[block.name] = {l.name for l in layers}
+        first_layer[block.name] = layers[0].name
+        last_layer[block.name] = layers[-1].name
+
+    out: dict[tuple[str, str, Phase], int] = {}
+    for rec in report.records:
+        names = layer_names.get(rec.block, set())
+        if rec.layer in names:
+            layer = rec.layer
+        elif rec.layer.endswith(".out") and rec.layer[:-4] in names:
+            layer = rec.layer[:-4]
+        elif rec.layer.endswith(".out"):
+            layer = last_layer[rec.block]
+        else:  # .in / fork / other block-level markers
+            layer = first_layer[rec.block]
+        key = (rec.block, layer, rec.phase)
+        out[key] = out.get(key, 0) + rec.bytes
+    return out
+
+
+def gbuf_bytes_for_layer(
+    layer: Layer,
+    phase: Phase,
+    mini_batch: int,
+    sub_batch: int,
+    cfg: WaveCoreConfig,
+    word_bytes: int = 2,
+) -> int:
+    """Coarse global-buffer traffic of one layer in one phase.
+
+    For systolic layers: the streamed A operand (im2col-expanded), the B
+    panel re-read once per row tile, and the C tile write-back.  For
+    vector layers: one read plus one write per pass over the features.
+    """
+    from repro.types import ceil_div
+
+    if layer.kind in (LayerKind.CONV, LayerKind.FC):
+        total = 0
+        sizes = sub_batch_sequence(mini_batch, sub_batch)
+        counts: dict[int, int] = {}
+        for s in sizes:
+            counts[s] = counts.get(s, 0) + 1
+        for s, count in counts.items():
+            for gp in _gemm_phases(phase):
+                dims = (
+                    conv_gemm(layer, s, gp)
+                    if isinstance(layer, Conv2D)
+                    else fc_gemm(layer, s, gp)
+                )
+                row_tiles = max(1, ceil_div(dims.gh, cfg.tile_rows))
+                a_bytes = dims.gh * dims.k * word_bytes
+                b_bytes = row_tiles * dims.k * dims.gw * word_bytes
+                c_bytes = dims.gh * dims.gw * word_bytes
+                total += count * (a_bytes + b_bytes + c_bytes)
+        return total
+
+    passes = _VECTOR_PASSES.get((layer.kind, phase), 1.0)
+    return int(2 * passes * layer.out_shape.elems * mini_batch * word_bytes)

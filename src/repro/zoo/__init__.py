@@ -1,0 +1,63 @@
+"""Network zoo: the six CNNs evaluated in the paper plus toy networks."""
+from repro.zoo.alexnet import alexnet
+from repro.zoo.inception_v3 import inception_v3
+from repro.zoo.inception_v4 import inception_v4
+from repro.zoo.resnet import (
+    resnet,
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet101,
+    resnet152,
+)
+from repro.zoo.toy import toy_chain, toy_inception, toy_residual
+
+#: The evaluation suite of the paper (Sec. 5), in figure order.
+PAPER_NETWORKS = (
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "inception_v3",
+    "inception_v4",
+    "alexnet",
+)
+
+
+def build(name: str, **kwargs):
+    """Build a zoo network by its canonical name."""
+    builders = {
+        "resnet18": resnet18,
+        "resnet34": resnet34,
+        "resnet50": resnet50,
+        "resnet101": resnet101,
+        "resnet152": resnet152,
+        "inception_v3": inception_v3,
+        "inception_v4": inception_v4,
+        "alexnet": alexnet,
+        "toy_chain": toy_chain,
+        "toy_residual": toy_residual,
+        "toy_inception": toy_inception,
+    }
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise KeyError(f"unknown network {name!r}; choose from {sorted(builders)}")
+    return builder(**kwargs)
+
+
+__all__ = [
+    "PAPER_NETWORKS",
+    "alexnet",
+    "build",
+    "inception_v3",
+    "inception_v4",
+    "resnet",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "toy_chain",
+    "toy_inception",
+    "toy_residual",
+]

@@ -1,0 +1,49 @@
+"""AlexNet (Krizhevsky et al., 2012), single-tower variant.
+
+The paper uses AlexNet as the shallow counter-example: few bandwidth-bound
+layers (no normalization in our build — the original LRN layers are long
+obsolete and the paper groups AlexNet with "few memory BW bound layers"),
+three enormous FC layers.  62,378,344 trainable parameters.
+"""
+from __future__ import annotations
+
+from repro.graph.blocks import Block, chain_block
+from repro.graph.network import Network
+from repro.types import Shape
+from repro.zoo.common import ChainBuilder
+
+
+def alexnet(
+    num_classes: int = 1000,
+    in_shape: Shape = Shape(3, 227, 227),
+    mini_batch: int = 64,
+) -> Network:
+    blocks: list[Block] = []
+
+    def add(name: str, build) -> Shape:
+        nonlocal shape
+        b = ChainBuilder(prefix=name, shape=shape, norm=None)
+        build(b)
+        blocks.append(chain_block(name, shape, list(b.take())))
+        shape = b.shape
+        return shape
+
+    shape = in_shape
+    add("conv1", lambda b: b.conv(96, 11, stride=4, bias=True).relu())
+    add("pool1", lambda b: b.max_pool(kernel=3, stride=2))
+    add("conv2", lambda b: b.conv(256, 5, padding=2, bias=True).relu())
+    add("pool2", lambda b: b.max_pool(kernel=3, stride=2))
+    add("conv3", lambda b: b.conv(384, 3, padding=1, bias=True).relu())
+    add("conv4", lambda b: b.conv(384, 3, padding=1, bias=True).relu())
+    add("conv5", lambda b: b.conv(256, 3, padding=1, bias=True).relu())
+    add("pool5", lambda b: b.max_pool(kernel=3, stride=2))
+    add("fc6", lambda b: b.fc(4096).relu())
+    add("fc7", lambda b: b.fc(4096).relu())
+    add("fc8", lambda b: b.fc(num_classes))
+
+    return Network(
+        name="alexnet",
+        in_shape=in_shape,
+        blocks=tuple(blocks),
+        default_mini_batch=mini_batch,
+    )

@@ -1,0 +1,160 @@
+"""Fluent chain builder shared by all zoo networks."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.layers import (
+    Activation,
+    Conv2D,
+    FullyConnected,
+    Layer,
+    Norm,
+    NormKind,
+    Pool,
+    PoolKind,
+)
+from repro.types import Shape
+
+
+def gn_groups(channels: int, max_groups: int = 32) -> int:
+    """Largest divisor of ``channels`` not exceeding ``max_groups``.
+
+    Group normalization requires the group count to divide the channel
+    count; standard practice is 32 groups, reduced for narrow layers.
+    """
+    for g in range(min(max_groups, channels), 0, -1):
+        if channels % g == 0:
+            return g
+    return 1
+
+
+@dataclass
+class ChainBuilder:
+    """Accumulates a layer chain, tracking shapes and generating names.
+
+    ``norm=None`` builds un-normalized networks (AlexNet); otherwise every
+    ``cnr`` composite inserts the requested normalization kind.
+    """
+
+    prefix: str
+    shape: Shape
+    norm: NormKind | None = NormKind.GROUP
+    layers: list[Layer] = field(default_factory=list)
+    _idx: int = 0
+
+    def _name(self, op: str) -> str:
+        self._idx += 1
+        return f"{self.prefix}.{op}{self._idx}"
+
+    def conv(
+        self,
+        out_channels: int,
+        kernel: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] = 0,
+        bias: bool = False,
+    ) -> "ChainBuilder":
+        layer = Conv2D(
+            name=self._name("conv"),
+            in_shape=self.shape,
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            bias=bias,
+        )
+        self.layers.append(layer)
+        self.shape = layer.out_shape
+        return self
+
+    def normalize(self) -> "ChainBuilder":
+        if self.norm is None:
+            return self
+        layer = Norm(
+            name=self._name("norm"),
+            in_shape=self.shape,
+            norm=self.norm,
+            groups=gn_groups(self.shape.c) if self.norm is NormKind.GROUP else 1,
+        )
+        self.layers.append(layer)
+        return self
+
+    def relu(self) -> "ChainBuilder":
+        self.layers.append(Activation(name=self._name("relu"), in_shape=self.shape))
+        return self
+
+    def cnr(
+        self,
+        out_channels: int,
+        kernel: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] = 0,
+    ) -> "ChainBuilder":
+        """Conv → norm → ReLU composite (conv gets a bias iff no norm)."""
+        self.conv(out_channels, kernel, stride, padding, bias=self.norm is None)
+        self.normalize()
+        return self.relu()
+
+    def cn(
+        self,
+        out_channels: int,
+        kernel: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] = 0,
+    ) -> "ChainBuilder":
+        """Conv → norm without activation (pre-merge bottleneck tail)."""
+        self.conv(out_channels, kernel, stride, padding, bias=self.norm is None)
+        return self.normalize()
+
+    def pool(
+        self,
+        kind: PoolKind,
+        kernel: int | tuple[int, int],
+        stride: int | tuple[int, int],
+        padding: int | tuple[int, int] = 0,
+    ) -> "ChainBuilder":
+        layer = Pool(
+            name=self._name("pool"),
+            in_shape=self.shape,
+            pool=kind,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+        )
+        self.layers.append(layer)
+        self.shape = layer.out_shape
+        return self
+
+    def max_pool(self, kernel=3, stride=2, padding=0) -> "ChainBuilder":
+        return self.pool(PoolKind.MAX, kernel, stride, padding)
+
+    def avg_pool(self, kernel=3, stride=1, padding=1) -> "ChainBuilder":
+        return self.pool(PoolKind.AVG, kernel, stride, padding)
+
+    def global_avg_pool(self) -> "ChainBuilder":
+        layer = Pool(
+            name=self._name("gpool"),
+            in_shape=self.shape,
+            pool=PoolKind.AVG,
+            global_pool=True,
+        )
+        self.layers.append(layer)
+        self.shape = layer.out_shape
+        return self
+
+    def fc(self, out_features: int, bias: bool = True) -> "ChainBuilder":
+        layer = FullyConnected(
+            name=self._name("fc"),
+            in_shape=self.shape,
+            out_features=out_features,
+            bias=bias,
+        )
+        self.layers.append(layer)
+        self.shape = layer.out_shape
+        return self
+
+    def take(self) -> tuple[Layer, ...]:
+        """Return the accumulated layers and reset the builder's list."""
+        out = tuple(self.layers)
+        self.layers = []
+        return out

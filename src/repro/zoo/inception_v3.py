@@ -1,0 +1,179 @@
+"""Inception v3 (Szegedy et al., 2015), aux classifier omitted.
+
+Module inventory matches the published network: stem, 3×InceptionA
+(35×35), grid reduction, 4×InceptionB (17×17, factorized 7×7 convs),
+grid reduction, 2×InceptionE (8×8, with forked 1×3/3×1 tails), head.
+Every convolution is conv→norm→ReLU.  ~23.8 M trainable parameters.
+"""
+from __future__ import annotations
+
+from repro.graph.blocks import Block, Branch, MergeKind, chain_block
+from repro.graph.layers import NormKind
+from repro.graph.network import Network
+from repro.types import Shape
+from repro.zoo.common import ChainBuilder
+
+
+def _branch(prefix: str, in_shape: Shape, norm: NormKind | None) -> ChainBuilder:
+    return ChainBuilder(prefix=prefix, shape=in_shape, norm=norm)
+
+
+def _inception_a(name: str, in_shape: Shape, pool_features: int, norm) -> Block:
+    b1 = _branch(f"{name}.b1", in_shape, norm).cnr(64, 1)
+    b2 = _branch(f"{name}.b2", in_shape, norm).cnr(48, 1).cnr(64, 5, padding=2)
+    b3 = (
+        _branch(f"{name}.b3", in_shape, norm)
+        .cnr(64, 1)
+        .cnr(96, 3, padding=1)
+        .cnr(96, 3, padding=1)
+    )
+    b4 = _branch(f"{name}.b4", in_shape, norm).avg_pool().cnr(pool_features, 1)
+    return Block(
+        name=name,
+        in_shape=in_shape,
+        branches=tuple(Branch(b.take()) for b in (b1, b2, b3, b4)),
+        merge=MergeKind.CONCAT,
+    )
+
+
+def _reduction_a(name: str, in_shape: Shape, norm) -> Block:
+    b1 = _branch(f"{name}.b1", in_shape, norm).cnr(384, 3, stride=2)
+    b2 = (
+        _branch(f"{name}.b2", in_shape, norm)
+        .cnr(64, 1)
+        .cnr(96, 3, padding=1)
+        .cnr(96, 3, stride=2)
+    )
+    b3 = _branch(f"{name}.b3", in_shape, norm).max_pool(kernel=3, stride=2)
+    return Block(
+        name=name,
+        in_shape=in_shape,
+        branches=tuple(Branch(b.take()) for b in (b1, b2, b3)),
+        merge=MergeKind.CONCAT,
+    )
+
+
+def _inception_b(name: str, in_shape: Shape, c7: int, norm) -> Block:
+    """17×17 module with factorized 7×7 convolutions."""
+    b1 = _branch(f"{name}.b1", in_shape, norm).cnr(192, 1)
+    b2 = (
+        _branch(f"{name}.b2", in_shape, norm)
+        .cnr(c7, 1)
+        .cnr(c7, (1, 7), padding=(0, 3))
+        .cnr(192, (7, 1), padding=(3, 0))
+    )
+    b3 = (
+        _branch(f"{name}.b3", in_shape, norm)
+        .cnr(c7, 1)
+        .cnr(c7, (7, 1), padding=(3, 0))
+        .cnr(c7, (1, 7), padding=(0, 3))
+        .cnr(c7, (7, 1), padding=(3, 0))
+        .cnr(192, (1, 7), padding=(0, 3))
+    )
+    b4 = _branch(f"{name}.b4", in_shape, norm).avg_pool().cnr(192, 1)
+    return Block(
+        name=name,
+        in_shape=in_shape,
+        branches=tuple(Branch(b.take()) for b in (b1, b2, b3, b4)),
+        merge=MergeKind.CONCAT,
+    )
+
+
+def _reduction_b(name: str, in_shape: Shape, norm) -> Block:
+    b1 = _branch(f"{name}.b1", in_shape, norm).cnr(192, 1).cnr(320, 3, stride=2)
+    b2 = (
+        _branch(f"{name}.b2", in_shape, norm)
+        .cnr(192, 1)
+        .cnr(192, (1, 7), padding=(0, 3))
+        .cnr(192, (7, 1), padding=(3, 0))
+        .cnr(192, 3, stride=2)
+    )
+    b3 = _branch(f"{name}.b3", in_shape, norm).max_pool(kernel=3, stride=2)
+    return Block(
+        name=name,
+        in_shape=in_shape,
+        branches=tuple(Branch(b.take()) for b in (b1, b2, b3)),
+        merge=MergeKind.CONCAT,
+    )
+
+
+def _inception_e(name: str, in_shape: Shape, norm) -> Block:
+    """8×8 module whose middle branches fork into 1×3 / 3×1 tails."""
+    b1 = _branch(f"{name}.b1", in_shape, norm).cnr(320, 1)
+
+    b2_stem = _branch(f"{name}.b2", in_shape, norm).cnr(384, 1)
+    stem_shape = b2_stem.shape
+    b2a = _branch(f"{name}.b2a", stem_shape, norm).cnr(384, (1, 3), padding=(0, 1))
+    b2b = _branch(f"{name}.b2b", stem_shape, norm).cnr(384, (3, 1), padding=(1, 0))
+    b2 = Branch(b2_stem.take(), children=(Branch(b2a.take()), Branch(b2b.take())))
+
+    b3_stem = (
+        _branch(f"{name}.b3", in_shape, norm).cnr(448, 1).cnr(384, 3, padding=1)
+    )
+    stem_shape = b3_stem.shape
+    b3a = _branch(f"{name}.b3a", stem_shape, norm).cnr(384, (1, 3), padding=(0, 1))
+    b3b = _branch(f"{name}.b3b", stem_shape, norm).cnr(384, (3, 1), padding=(1, 0))
+    b3 = Branch(b3_stem.take(), children=(Branch(b3a.take()), Branch(b3b.take())))
+
+    b4 = _branch(f"{name}.b4", in_shape, norm).avg_pool().cnr(192, 1)
+    return Block(
+        name=name,
+        in_shape=in_shape,
+        branches=(Branch(b1.take()), b2, b3, Branch(b4.take())),
+        merge=MergeKind.CONCAT,
+    )
+
+
+def inception_v3(
+    norm: NormKind | None = NormKind.GROUP,
+    num_classes: int = 1000,
+    in_shape: Shape = Shape(3, 299, 299),
+    mini_batch: int = 32,
+) -> Network:
+    blocks: list[Block] = []
+
+    stem = ChainBuilder(prefix="stem", shape=in_shape, norm=norm)
+    stem.cnr(32, 3, stride=2)
+    stem.cnr(32, 3)
+    stem.cnr(64, 3, padding=1)
+    stem.max_pool(kernel=3, stride=2)
+    stem.cnr(80, 1)
+    stem.cnr(192, 3)
+    stem.max_pool(kernel=3, stride=2)
+    blocks.append(chain_block("stem", in_shape, list(stem.take())))
+    shape = stem.shape
+
+    for i, pool_features in enumerate((32, 64, 64)):
+        block = _inception_a(f"mixed5{'bcd'[i]}", shape, pool_features, norm)
+        blocks.append(block)
+        shape = block.out_shape
+
+    block = _reduction_a("mixed6a", shape, norm)
+    blocks.append(block)
+    shape = block.out_shape
+
+    for i, c7 in enumerate((128, 160, 160, 192)):
+        block = _inception_b(f"mixed6{'bcde'[i]}", shape, c7, norm)
+        blocks.append(block)
+        shape = block.out_shape
+
+    block = _reduction_b("mixed7a", shape, norm)
+    blocks.append(block)
+    shape = block.out_shape
+
+    for i in range(2):
+        block = _inception_e(f"mixed7{'bc'[i]}", shape, norm)
+        blocks.append(block)
+        shape = block.out_shape
+
+    head = ChainBuilder(prefix="head", shape=shape, norm=norm)
+    head.global_avg_pool()
+    head.fc(num_classes)
+    blocks.append(chain_block("head", shape, list(head.take())))
+
+    return Network(
+        name="inception_v3",
+        in_shape=in_shape,
+        blocks=tuple(blocks),
+        default_mini_batch=mini_batch,
+    )

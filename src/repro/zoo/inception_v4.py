@@ -1,0 +1,183 @@
+"""Inception v4 (Szegedy et al., 2017).
+
+Faithful module inventory: forked stem (Mixed_3a/4a/5a concatenations),
+4×InceptionA (35×35), ReductionA, 7×InceptionB (17×17), ReductionB,
+3×InceptionC (8×8, with forked 1×3/3×1 tails), head.  ~42.7 M params.
+"""
+from __future__ import annotations
+
+from repro.graph.blocks import Block, Branch, MergeKind, chain_block
+from repro.graph.layers import NormKind
+from repro.graph.network import Network
+from repro.types import Shape
+from repro.zoo.common import ChainBuilder
+
+
+def _branch(prefix: str, in_shape: Shape, norm) -> ChainBuilder:
+    return ChainBuilder(prefix=prefix, shape=in_shape, norm=norm)
+
+
+def _concat(name: str, in_shape: Shape, branches: list[Branch]) -> Block:
+    return Block(
+        name=name, in_shape=in_shape, branches=tuple(branches), merge=MergeKind.CONCAT
+    )
+
+
+def _inception_a(name: str, in_shape: Shape, norm) -> Block:
+    b1 = _branch(f"{name}.b1", in_shape, norm).cnr(96, 1)
+    b2 = _branch(f"{name}.b2", in_shape, norm).cnr(64, 1).cnr(96, 3, padding=1)
+    b3 = (
+        _branch(f"{name}.b3", in_shape, norm)
+        .cnr(64, 1)
+        .cnr(96, 3, padding=1)
+        .cnr(96, 3, padding=1)
+    )
+    b4 = _branch(f"{name}.b4", in_shape, norm).avg_pool().cnr(96, 1)
+    return _concat(name, in_shape, [Branch(b.take()) for b in (b1, b2, b3, b4)])
+
+
+def _reduction_a(name: str, in_shape: Shape, norm) -> Block:
+    b1 = _branch(f"{name}.b1", in_shape, norm).cnr(384, 3, stride=2)
+    b2 = (
+        _branch(f"{name}.b2", in_shape, norm)
+        .cnr(192, 1)
+        .cnr(224, 3, padding=1)
+        .cnr(256, 3, stride=2)
+    )
+    b3 = _branch(f"{name}.b3", in_shape, norm).max_pool(kernel=3, stride=2)
+    return _concat(name, in_shape, [Branch(b.take()) for b in (b1, b2, b3)])
+
+
+def _inception_b(name: str, in_shape: Shape, norm) -> Block:
+    b1 = _branch(f"{name}.b1", in_shape, norm).cnr(384, 1)
+    b2 = (
+        _branch(f"{name}.b2", in_shape, norm)
+        .cnr(192, 1)
+        .cnr(224, (1, 7), padding=(0, 3))
+        .cnr(256, (7, 1), padding=(3, 0))
+    )
+    b3 = (
+        _branch(f"{name}.b3", in_shape, norm)
+        .cnr(192, 1)
+        .cnr(192, (7, 1), padding=(3, 0))
+        .cnr(224, (1, 7), padding=(0, 3))
+        .cnr(224, (7, 1), padding=(3, 0))
+        .cnr(256, (1, 7), padding=(0, 3))
+    )
+    b4 = _branch(f"{name}.b4", in_shape, norm).avg_pool().cnr(128, 1)
+    return _concat(name, in_shape, [Branch(b.take()) for b in (b1, b2, b3, b4)])
+
+
+def _reduction_b(name: str, in_shape: Shape, norm) -> Block:
+    b1 = _branch(f"{name}.b1", in_shape, norm).cnr(192, 1).cnr(192, 3, stride=2)
+    b2 = (
+        _branch(f"{name}.b2", in_shape, norm)
+        .cnr(256, 1)
+        .cnr(256, (1, 7), padding=(0, 3))
+        .cnr(320, (7, 1), padding=(3, 0))
+        .cnr(320, 3, stride=2)
+    )
+    b3 = _branch(f"{name}.b3", in_shape, norm).max_pool(kernel=3, stride=2)
+    return _concat(name, in_shape, [Branch(b.take()) for b in (b1, b2, b3)])
+
+
+def _inception_c(name: str, in_shape: Shape, norm) -> Block:
+    b1 = _branch(f"{name}.b1", in_shape, norm).cnr(256, 1)
+
+    b2_stem = _branch(f"{name}.b2", in_shape, norm).cnr(384, 1)
+    s = b2_stem.shape
+    b2a = _branch(f"{name}.b2a", s, norm).cnr(256, (1, 3), padding=(0, 1))
+    b2b = _branch(f"{name}.b2b", s, norm).cnr(256, (3, 1), padding=(1, 0))
+    b2 = Branch(b2_stem.take(), children=(Branch(b2a.take()), Branch(b2b.take())))
+
+    b3_stem = (
+        _branch(f"{name}.b3", in_shape, norm)
+        .cnr(384, 1)
+        .cnr(448, (3, 1), padding=(1, 0))
+        .cnr(512, (1, 3), padding=(0, 1))
+    )
+    s = b3_stem.shape
+    b3a = _branch(f"{name}.b3a", s, norm).cnr(256, (1, 3), padding=(0, 1))
+    b3b = _branch(f"{name}.b3b", s, norm).cnr(256, (3, 1), padding=(1, 0))
+    b3 = Branch(b3_stem.take(), children=(Branch(b3a.take()), Branch(b3b.take())))
+
+    b4 = _branch(f"{name}.b4", in_shape, norm).avg_pool().cnr(256, 1)
+    return _concat(name, in_shape, [Branch(b1.take()), b2, b3, Branch(b4.take())])
+
+
+def inception_v4(
+    norm: NormKind | None = NormKind.GROUP,
+    num_classes: int = 1000,
+    in_shape: Shape = Shape(3, 299, 299),
+    mini_batch: int = 32,
+) -> Network:
+    blocks: list[Block] = []
+
+    stem = ChainBuilder(prefix="stem", shape=in_shape, norm=norm)
+    stem.cnr(32, 3, stride=2)
+    stem.cnr(32, 3)
+    stem.cnr(64, 3, padding=1)
+    blocks.append(chain_block("stem", in_shape, list(stem.take())))
+    shape = stem.shape
+
+    # Mixed_3a: pool fork.
+    p = _branch("mixed3a.pool", shape, norm).max_pool(kernel=3, stride=2)
+    c = _branch("mixed3a.conv", shape, norm).cnr(96, 3, stride=2)
+    block = _concat("mixed3a", shape, [Branch(p.take()), Branch(c.take())])
+    blocks.append(block)
+    shape = block.out_shape
+
+    # Mixed_4a: factorized-conv fork.
+    b1 = _branch("mixed4a.b1", shape, norm).cnr(64, 1).cnr(96, 3)
+    b2 = (
+        _branch("mixed4a.b2", shape, norm)
+        .cnr(64, 1)
+        .cnr(64, (1, 7), padding=(0, 3))
+        .cnr(64, (7, 1), padding=(3, 0))
+        .cnr(96, 3)
+    )
+    block = _concat("mixed4a", shape, [Branch(b1.take()), Branch(b2.take())])
+    blocks.append(block)
+    shape = block.out_shape
+
+    # Mixed_5a: conv/pool fork down to 35×35.
+    c = _branch("mixed5a.conv", shape, norm).cnr(192, 3, stride=2)
+    p = _branch("mixed5a.pool", shape, norm).max_pool(kernel=3, stride=2)
+    block = _concat("mixed5a", shape, [Branch(c.take()), Branch(p.take())])
+    blocks.append(block)
+    shape = block.out_shape
+
+    for i in range(4):
+        block = _inception_a(f"inceptionA_{i + 1}", shape, norm)
+        blocks.append(block)
+        shape = block.out_shape
+
+    block = _reduction_a("reductionA", shape, norm)
+    blocks.append(block)
+    shape = block.out_shape
+
+    for i in range(7):
+        block = _inception_b(f"inceptionB_{i + 1}", shape, norm)
+        blocks.append(block)
+        shape = block.out_shape
+
+    block = _reduction_b("reductionB", shape, norm)
+    blocks.append(block)
+    shape = block.out_shape
+
+    for i in range(3):
+        block = _inception_c(f"inceptionC_{i + 1}", shape, norm)
+        blocks.append(block)
+        shape = block.out_shape
+
+    head = ChainBuilder(prefix="head", shape=shape, norm=norm)
+    head.global_avg_pool()
+    head.fc(num_classes)
+    blocks.append(chain_block("head", shape, list(head.take())))
+
+    return Network(
+        name="inception_v4",
+        in_shape=in_shape,
+        blocks=tuple(blocks),
+        default_mini_batch=mini_batch,
+    )

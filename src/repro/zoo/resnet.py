@@ -1,0 +1,162 @@
+"""ResNet-50/101/152 (He et al., 2016), bottleneck variant.
+
+Layer sizing follows the published architecture (and torchvision's
+parameterization): stride-2 down-sampling on the 3×3 conv of the first
+bottleneck of each stage, 1×1 projection shortcuts at stage boundaries,
+no conv biases, per-channel norm affine parameters, final 1000-way FC.
+ResNet-50 lands on the published 25,557,032 trainable parameters.
+"""
+from __future__ import annotations
+
+from repro.graph.blocks import Block, Branch, MergeKind, chain_block
+from repro.graph.layers import Activation, NormKind
+from repro.graph.network import Network
+from repro.types import Shape
+from repro.zoo.common import ChainBuilder
+
+#: (blocks per stage) for each supported depth.
+_STAGES = {
+    18: (2, 2, 2, 2),
+    34: (3, 4, 6, 3),
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+}
+
+#: Depths built from basic (2×3×3) blocks instead of bottlenecks.
+_BASIC_DEPTHS = (18, 34)
+
+
+def _bottleneck(
+    name: str,
+    in_shape: Shape,
+    width: int,
+    stride: int,
+    norm: NormKind | None,
+) -> Block:
+    """One bottleneck residual block: 1×1 → 3×3 → 1×1 with shortcut."""
+    out_channels = width * 4
+    main = ChainBuilder(prefix=f"{name}.main", shape=in_shape, norm=norm)
+    main.cnr(width, 1)
+    main.cnr(width, 3, stride=stride, padding=1)
+    main.cn(out_channels, 1)
+    main_branch = Branch(main.take())
+
+    needs_projection = stride != 1 or in_shape.c != out_channels
+    if needs_projection:
+        shortcut = ChainBuilder(prefix=f"{name}.shortcut", shape=in_shape, norm=norm)
+        shortcut.cn(out_channels, 1, stride=stride)
+        shortcut_branch = Branch(shortcut.take())
+    else:
+        shortcut_branch = Branch()  # identity
+
+    merged = main.shape
+    post = (Activation(name=f"{name}.relu", in_shape=merged),)
+    return Block(
+        name=name,
+        in_shape=in_shape,
+        branches=(main_branch, shortcut_branch),
+        merge=MergeKind.ADD,
+        post_merge=post,
+    )
+
+
+def _basic_block(
+    name: str,
+    in_shape: Shape,
+    width: int,
+    stride: int,
+    norm: NormKind | None,
+) -> Block:
+    """One basic residual block: 3×3 → 3×3 with shortcut (ResNet-18/34)."""
+    main = ChainBuilder(prefix=f"{name}.main", shape=in_shape, norm=norm)
+    main.cnr(width, 3, stride=stride, padding=1)
+    main.cn(width, 3, padding=1)
+    main_branch = Branch(main.take())
+
+    if stride != 1 or in_shape.c != width:
+        shortcut = ChainBuilder(prefix=f"{name}.shortcut", shape=in_shape,
+                                norm=norm)
+        shortcut.cn(width, 1, stride=stride)
+        shortcut_branch = Branch(shortcut.take())
+    else:
+        shortcut_branch = Branch()
+
+    post = (Activation(name=f"{name}.relu", in_shape=main.shape),)
+    return Block(
+        name=name,
+        in_shape=in_shape,
+        branches=(main_branch, shortcut_branch),
+        merge=MergeKind.ADD,
+        post_merge=post,
+    )
+
+
+def resnet(
+    depth: int,
+    norm: NormKind | None = NormKind.GROUP,
+    num_classes: int = 1000,
+    in_shape: Shape = Shape(3, 224, 224),
+    mini_batch: int = 32,
+) -> Network:
+    """Build a ResNet of the given depth (18/34 basic, 50/101/152
+    bottleneck)."""
+    if depth not in _STAGES:
+        raise ValueError(f"unsupported ResNet depth {depth}; choose {sorted(_STAGES)}")
+
+    blocks: list[Block] = []
+    stem = ChainBuilder(prefix="conv1", shape=in_shape, norm=norm)
+    stem.cnr(64, 7, stride=2, padding=3)
+    blocks.append(chain_block("conv1", in_shape, list(stem.take())))
+
+    pool = ChainBuilder(prefix="pool1", shape=stem.shape, norm=norm)
+    pool.max_pool(kernel=3, stride=2, padding=1)
+    blocks.append(chain_block("pool1", stem.shape, list(pool.take())))
+
+    shape = pool.shape
+    widths = (64, 128, 256, 512)
+    make_block = _basic_block if depth in _BASIC_DEPTHS else _bottleneck
+    for stage_idx, (width, count) in enumerate(zip(widths, _STAGES[depth]), start=2):
+        for block_idx in range(count):
+            stride = 2 if (stage_idx > 2 and block_idx == 0) else 1
+            block = make_block(
+                name=f"conv{stage_idx}_{block_idx + 1}",
+                in_shape=shape,
+                width=width,
+                stride=stride,
+                norm=norm,
+            )
+            blocks.append(block)
+            shape = block.out_shape
+
+    head = ChainBuilder(prefix="head", shape=shape, norm=norm)
+    head.global_avg_pool()
+    head.fc(num_classes)
+    blocks.append(chain_block("head", shape, list(head.take())))
+
+    return Network(
+        name=f"resnet{depth}",
+        in_shape=in_shape,
+        blocks=tuple(blocks),
+        default_mini_batch=mini_batch,
+    )
+
+
+def resnet18(**kwargs) -> Network:
+    return resnet(18, **kwargs)
+
+
+def resnet34(**kwargs) -> Network:
+    return resnet(34, **kwargs)
+
+
+def resnet50(**kwargs) -> Network:
+    return resnet(50, **kwargs)
+
+
+def resnet101(**kwargs) -> Network:
+    return resnet(101, **kwargs)
+
+
+def resnet152(**kwargs) -> Network:
+    return resnet(152, **kwargs)

@@ -1,0 +1,133 @@
+"""Small networks for tests, examples, and the NumPy training substrate."""
+from __future__ import annotations
+
+from repro.graph.blocks import Block, Branch, MergeKind, chain_block
+from repro.graph.layers import Activation, NormKind
+from repro.graph.network import Network
+from repro.types import Shape
+from repro.zoo.common import ChainBuilder
+
+
+def toy_chain(
+    in_shape: Shape = Shape(3, 32, 32),
+    widths: tuple[int, ...] = (16, 32, 64),
+    num_classes: int = 8,
+    norm: NormKind | None = NormKind.GROUP,
+    mini_batch: int = 16,
+) -> Network:
+    """Plain conv→norm→ReLU chain with stride-2 down-sampling and an FC head."""
+    blocks: list[Block] = []
+    shape = in_shape
+    for i, width in enumerate(widths):
+        b = ChainBuilder(prefix=f"stage{i}", shape=shape, norm=norm)
+        b.cnr(width, 3, stride=2 if i > 0 else 1, padding=1)
+        blocks.append(chain_block(f"stage{i}", shape, list(b.take())))
+        shape = b.shape
+    head = ChainBuilder(prefix="head", shape=shape, norm=norm)
+    head.global_avg_pool()
+    head.fc(num_classes)
+    blocks.append(chain_block("head", shape, list(head.take())))
+    return Network(
+        name="toy_chain",
+        in_shape=in_shape,
+        blocks=tuple(blocks),
+        default_mini_batch=mini_batch,
+    )
+
+
+def toy_residual(
+    in_shape: Shape = Shape(3, 32, 32),
+    width: int = 16,
+    num_classes: int = 8,
+    norm: NormKind | None = NormKind.GROUP,
+    mini_batch: int = 16,
+) -> Network:
+    """Stem + two residual blocks (one projected, one identity) + head."""
+    blocks: list[Block] = []
+    stem = ChainBuilder(prefix="stem", shape=in_shape, norm=norm)
+    stem.cnr(width, 3, padding=1)
+    blocks.append(chain_block("stem", in_shape, list(stem.take())))
+    shape = stem.shape
+
+    for i, (out_w, stride) in enumerate(((width * 2, 2), (width * 2, 1))):
+        main = ChainBuilder(prefix=f"res{i}.main", shape=shape, norm=norm)
+        main.cnr(out_w, 3, stride=stride, padding=1)
+        main.cn(out_w, 3, padding=1)
+        main_branch = Branch(main.take())
+        if stride != 1 or shape.c != out_w:
+            sc = ChainBuilder(prefix=f"res{i}.shortcut", shape=shape, norm=norm)
+            sc.cn(out_w, 1, stride=stride)
+            shortcut = Branch(sc.take())
+        else:
+            shortcut = Branch()
+        merged = main.shape
+        block = Block(
+            name=f"res{i}",
+            in_shape=shape,
+            branches=(main_branch, shortcut),
+            merge=MergeKind.ADD,
+            post_merge=(Activation(name=f"res{i}.relu", in_shape=merged),),
+        )
+        blocks.append(block)
+        shape = block.out_shape
+
+    head = ChainBuilder(prefix="head", shape=shape, norm=norm)
+    head.global_avg_pool()
+    head.fc(num_classes)
+    blocks.append(chain_block("head", shape, list(head.take())))
+    return Network(
+        name="toy_residual",
+        in_shape=in_shape,
+        blocks=tuple(blocks),
+        default_mini_batch=mini_batch,
+    )
+
+
+def toy_inception(
+    in_shape: Shape = Shape(3, 32, 32),
+    num_classes: int = 8,
+    norm: NormKind | None = NormKind.GROUP,
+    mini_batch: int = 16,
+) -> Network:
+    """Stem + one concat module (with a forked branch) + head."""
+    blocks: list[Block] = []
+    stem = ChainBuilder(prefix="stem", shape=in_shape, norm=norm)
+    stem.cnr(16, 3, stride=2, padding=1)
+    blocks.append(chain_block("stem", in_shape, list(stem.take())))
+    shape = stem.shape
+
+    b1 = ChainBuilder(prefix="mix.b1", shape=shape, norm=norm).cnr(8, 1)
+    b2 = ChainBuilder(prefix="mix.b2", shape=shape, norm=norm).cnr(8, 1).cnr(
+        16, 3, padding=1
+    )
+    b3_stem = ChainBuilder(prefix="mix.b3", shape=shape, norm=norm).cnr(8, 1)
+    fork_shape = b3_stem.shape
+    b3a = ChainBuilder(prefix="mix.b3a", shape=fork_shape, norm=norm).cnr(
+        8, (1, 3), padding=(0, 1)
+    )
+    b3b = ChainBuilder(prefix="mix.b3b", shape=fork_shape, norm=norm).cnr(
+        8, (3, 1), padding=(1, 0)
+    )
+    block = Block(
+        name="mix",
+        in_shape=shape,
+        branches=(
+            Branch(b1.take()),
+            Branch(b2.take()),
+            Branch(b3_stem.take(), children=(Branch(b3a.take()), Branch(b3b.take()))),
+        ),
+        merge=MergeKind.CONCAT,
+    )
+    blocks.append(block)
+    shape = block.out_shape
+
+    head = ChainBuilder(prefix="head", shape=shape, norm=norm)
+    head.global_avg_pool()
+    head.fc(num_classes)
+    blocks.append(chain_block("head", shape, list(head.take())))
+    return Network(
+        name="toy_inception",
+        in_shape=in_shape,
+        blocks=tuple(blocks),
+        default_mini_batch=mini_batch,
+    )

@@ -1,0 +1,67 @@
+"""Shared fixtures: networks are expensive to build, so cache per session."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.zoo import (
+    alexnet,
+    inception_v3,
+    inception_v4,
+    resnet50,
+    resnet101,
+    resnet152,
+    toy_chain,
+    toy_inception,
+    toy_residual,
+)
+
+
+@pytest.fixture(scope="session")
+def rn50():
+    return resnet50()
+
+
+@pytest.fixture(scope="session")
+def rn101():
+    return resnet101()
+
+
+@pytest.fixture(scope="session")
+def rn152():
+    return resnet152()
+
+
+@pytest.fixture(scope="session")
+def incv3():
+    return inception_v3()
+
+
+@pytest.fixture(scope="session")
+def incv4():
+    return inception_v4()
+
+
+@pytest.fixture(scope="session")
+def alex():
+    return alexnet()
+
+
+@pytest.fixture()
+def chain_net():
+    return toy_chain()
+
+
+@pytest.fixture()
+def residual_net():
+    return toy_residual()
+
+
+@pytest.fixture()
+def inception_net():
+    return toy_inception()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,104 @@
+"""Unit tests for per-sample space (Eq. 1 / Eq. 2)."""
+import pytest
+
+from repro.core.footprint import block_space_per_sample, layer_live_bytes
+from repro.graph.blocks import Block, Branch, MergeKind, chain_block
+from repro.graph.layers import Activation, Conv2D, Norm
+from repro.types import Shape
+
+IN = Shape(8, 16, 16)
+
+
+def conv(name, in_shape, out_c, k=1, s=1, p=0):
+    return Conv2D(name=name, in_shape=in_shape, out_channels=out_c,
+                  kernel=k, stride=s, padding=p)
+
+
+class TestLayerLive:
+    def test_conv_holds_in_and_out(self):
+        c = conv("c", IN, 4)
+        assert layer_live_bytes(c) == IN.bytes() + Shape(4, 16, 16).bytes()
+
+    def test_activation_in_place(self):
+        a = Activation(name="a", in_shape=IN)
+        assert layer_live_bytes(a) == IN.bytes()
+
+    def test_norm_holds_both(self):
+        n = Norm(name="n", in_shape=IN)
+        assert layer_live_bytes(n) == 2 * IN.bytes()
+
+
+class TestChainSpace:
+    def test_chain_is_max_layer_live(self):
+        layers = [conv("a", IN, 4), conv("b", Shape(4, 16, 16), 32)]
+        blk = chain_block("c", IN, layers)
+        expect = max(layer_live_bytes(l) for l in layers)
+        assert block_space_per_sample(blk, True) == expect
+        assert block_space_per_sample(blk, False) == expect
+
+    def test_branch_reuse_irrelevant_for_chains(self, chain_net):
+        for blk in chain_net.blocks:
+            assert block_space_per_sample(blk, True) == \
+                block_space_per_sample(blk, False)
+
+
+class TestResidualSpace:
+    def make(self, shortcut_identity=True):
+        main = Branch((
+            conv("m1", IN, 8, k=3, p=1),
+            conv("m2", IN, 8, k=3, p=1),
+        ))
+        shortcut = Branch() if shortcut_identity else Branch((conv("s", IN, 8),))
+        return Block(name="res", in_shape=IN, branches=(main, shortcut),
+                     merge=MergeKind.ADD,
+                     post_merge=(Activation(name="r", in_shape=IN),))
+
+    def test_eq1_exceeds_plain_live(self):
+        blk = self.make()
+        assert block_space_per_sample(blk, True) > \
+            block_space_per_sample(blk, False)
+
+    def test_eq1_holds_block_input_past_first_layer(self):
+        blk = self.make()
+        # second main layer: in + out + retained block input
+        expect_candidate = 3 * IN.bytes()
+        assert block_space_per_sample(blk, True) >= expect_candidate
+
+    def test_merge_holds_all_leaves(self):
+        blk = self.make(shortcut_identity=False)
+        # ADD merge: main leaf + shortcut leaf live simultaneously
+        assert block_space_per_sample(blk, True) >= 2 * IN.bytes()
+
+    def test_without_branch_reuse_is_max_layer_live(self):
+        blk = self.make()
+        expect = max(layer_live_bytes(l) for l in blk.all_layers())
+        assert block_space_per_sample(blk, False) == expect
+
+
+class TestInceptionSpace:
+    def test_eq2_reserves_concat_output(self, inception_net):
+        mix = inception_net.block_named("mix")
+        with_reuse = block_space_per_sample(mix, True)
+        without = block_space_per_sample(mix, False)
+        assert with_reuse > without
+        # Eq. 2 reserves at least the block output alongside a layer
+        assert with_reuse >= mix.out_shape.bytes()
+
+
+@pytest.mark.parametrize(
+    "fixture", ["rn50", "incv3", "incv4", "alex"]
+)
+def test_reuse_space_dominates_everywhere(fixture, request):
+    """space(Eq.1/2) >= space(plain) >= max layer live, for all blocks."""
+    net = request.getfixturevalue(fixture)
+    for blk in net.blocks:
+        plain = block_space_per_sample(blk, False)
+        reuse = block_space_per_sample(blk, True)
+        floor = max(layer_live_bytes(l) for l in blk.all_layers())
+        assert reuse >= plain >= floor > 0
+
+
+def test_resnet50_early_block_magnitude(rn50):
+    """Fig. 4: early ResNet-50 residual blocks need ~3-5 MB per sample."""
+    space = block_space_per_sample(rn50.block_named("conv2_1"), True)
+    assert 2.5e6 < space < 6e6

@@ -1,0 +1,139 @@
+"""Unit and property tests for layer grouping."""
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    GroupingProblem,
+    exhaustive_grouping,
+    greedy_grouping,
+    initial_grouping,
+)
+
+
+def make_problem(feasible, weights=None, outs=None, n=32):
+    k = len(feasible)
+    return GroupingProblem(
+        feasible=tuple(feasible),
+        weight_bytes=tuple(weights or [1000] * k),
+        out_bytes=tuple(outs or [500] * k),
+        mini_batch=n,
+    )
+
+
+class TestProblem:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            GroupingProblem((1, 2), (1,), (1, 2), 32)
+
+    def test_zero_feasible_raises(self):
+        with pytest.raises(ValueError):
+            make_problem([2, 0, 4])
+
+    def test_iterations_uses_group_min(self):
+        p = make_problem([2, 8, 16])
+        assert p.iterations(0, 2) == 16
+        assert p.iterations(1, 2) == 4
+        assert p.iterations(2, 2) == 2
+
+    def test_group_cost_formula(self):
+        p = make_problem([4], weights=[100])
+        # iterations = 8 → weights stream (4*8 - 1) times
+        assert p.group_cost(0, 0) == 100 * 31
+
+    def test_boundary_cost_skips_network_output(self):
+        p = make_problem([4, 4])
+        assert p.boundary_cost(1) == 0.0
+        assert p.boundary_cost(0) == 3.0 * 32 * 500
+
+
+class TestInitialGrouping:
+    def test_groups_equal_iteration_runs(self):
+        p = make_problem([2, 2, 4, 4, 4, 16])
+        assert initial_grouping(p) == [(0, 1), (2, 4), (5, 5)]
+
+    def test_single_group_when_uniform(self):
+        p = make_problem([4, 4, 4])
+        assert initial_grouping(p) == [(0, 2)]
+
+    def test_equal_iterations_despite_different_feasible(self):
+        # ceil(32/20)=2 and ceil(32/16)=2 → same run
+        p = make_problem([20, 16])
+        assert initial_grouping(p) == [(0, 1)]
+
+
+def _valid_partition(groups, n):
+    covered = [i for s, e in groups for i in range(s, e + 1)]
+    return covered == list(range(n))
+
+
+class TestGreedy:
+    def test_partition_valid(self):
+        p = make_problem([2, 3, 8, 8, 30], weights=[10, 20, 5000, 80, 10])
+        groups = greedy_grouping(p)
+        assert _valid_partition(groups, 5)
+
+    def test_merges_when_boundary_dominates(self):
+        # tiny weights, huge boundary tensors → merge everything
+        p = make_problem([2, 4, 8], weights=[1, 1, 1],
+                         outs=[10**6] * 3)
+        assert greedy_grouping(p) == [(0, 2)]
+
+    def test_keeps_groups_when_weights_dominate(self):
+        # huge weights, tiny boundaries → never merge across iteration gaps
+        p = make_problem([2, 32], weights=[10**9, 10**9], outs=[1, 1])
+        assert greedy_grouping(p) == [(0, 0), (1, 1)]
+
+    def test_never_worse_than_initial(self):
+        p = make_problem([2, 3, 5, 8, 13, 30],
+                         weights=[50, 400, 300, 2000, 7000, 90000],
+                         outs=[4000, 3000, 2000, 1500, 800, 100])
+        assert p.partition_cost(greedy_grouping(p)) <= \
+            p.partition_cost(initial_grouping(p))
+
+
+class TestExhaustive:
+    def test_partition_valid(self):
+        p = make_problem([2, 3, 8], weights=[10, 2000, 30])
+        assert _valid_partition(exhaustive_grouping(p), 3)
+
+    def test_optimal_beats_greedy(self):
+        p = make_problem([2, 3, 5, 8, 13, 30],
+                         weights=[50, 400, 300, 2000, 7000, 90000],
+                         outs=[4000, 3000, 2000, 1500, 800, 100])
+        assert p.partition_cost(exhaustive_grouping(p)) <= \
+            p.partition_cost(greedy_grouping(p))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 32),          # feasible
+                st.integers(0, 10**6),       # weight bytes
+                st.integers(1, 10**5),       # out bytes
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_optimality_property(self, spec):
+        feas, w, o = zip(*spec)
+        p = make_problem(list(feas), list(w), list(o))
+        best = p.partition_cost(exhaustive_grouping(p))
+        assert best <= p.partition_cost(greedy_grouping(p)) + 1e-9
+        assert best <= p.partition_cost(initial_grouping(p)) + 1e-9
+        # also no worse than all-singletons and one-big-group
+        n = len(spec)
+        assert best <= p.partition_cost([(i, i) for i in range(n)]) + 1e-9
+        assert best <= p.partition_cost([(0, n - 1)]) + 1e-9
+
+
+def test_resnet50_greedy_gap_small(rn50):
+    """Paper footnote 1: exhaustive beats greedy by only ~1%."""
+    from repro.core.policies import make_schedule
+    from repro.core.traffic import compute_traffic
+
+    greedy = compute_traffic(rn50, make_schedule(rn50, "mbs2")).total_bytes
+    optimal = compute_traffic(rn50, make_schedule(rn50, "mbs2-opt")).total_bytes
+    assert optimal <= greedy
+    assert greedy / optimal - 1.0 < 0.05

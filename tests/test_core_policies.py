@@ -1,0 +1,113 @@
+"""Unit tests for the Tab. 3 policy constructors."""
+import pytest
+
+from repro.core.policies import POLICIES, make_schedule
+from repro.core.subbatch import feasible_sub_batch
+from repro.types import MIB
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize(
+    "fixture", ["chain_net", "residual_net", "inception_net"]
+)
+def test_every_policy_builds_valid_schedules(policy, fixture, request):
+    net = request.getfixturevalue(fixture)
+    sched = make_schedule(net, policy, buffer_bytes=1 * MIB)
+    assert sched.num_blocks == len(net.blocks)
+    assert sched.policy == policy
+    assert all(g.iterations >= 1 for g in sched.groups)
+
+
+def test_unknown_policy_raises(chain_net):
+    with pytest.raises(ValueError, match="unknown policy"):
+        make_schedule(chain_net, "magic")
+
+
+class TestBaseline:
+    def test_all_blocks_spilled(self, rn50):
+        sched = make_schedule(rn50, "baseline")
+        assert len(sched.groups) == len(rn50.blocks)
+        assert not any(f for g in sched.groups for f in g.block_fused)
+        assert not sched.relu_mask
+        assert sched.layer_reuse_bytes == 0
+
+    def test_archopt_same_schedule_shape(self, rn50):
+        base = make_schedule(rn50, "baseline")
+        arch = make_schedule(rn50, "archopt")
+        assert [g.blocks for g in base.groups] == [g.blocks for g in arch.groups]
+
+
+class TestIL:
+    def test_layer_reuse_budget_set(self, rn50):
+        sched = make_schedule(rn50, "il")
+        assert sched.layer_reuse_bytes == sched.buffer_bytes
+
+    def test_fuses_only_fitting_blocks(self, rn50):
+        sched = make_schedule(rn50, "il", buffer_bytes=10 * MIB)
+        for idx, block in enumerate(rn50.blocks):
+            fits = feasible_sub_batch(block, 10 * MIB, 32, True) >= 32
+            assert sched.block_fused(idx) == fits
+
+    def test_everything_fuses_with_huge_buffer(self, chain_net):
+        sched = make_schedule(chain_net, "il", buffer_bytes=10**12)
+        assert len(sched.groups) == 1
+        assert all(sched.groups[0].block_fused)
+        assert sched.groups[0].iterations == 1
+
+
+class TestMbsFs:
+    def test_single_group_single_sub_batch(self, rn50):
+        sched = make_schedule(rn50, "mbs-fs")
+        assert len(sched.groups) == 1
+        g = sched.groups[0]
+        assert g.sub_batch == min(
+            feasible_sub_batch(b, sched.buffer_bytes, 32, True)
+            for b in rn50.blocks
+        )
+        assert all(g.block_fused)
+
+    def test_relu_mask_enabled(self, rn50):
+        assert make_schedule(rn50, "mbs-fs").relu_mask
+
+
+class TestMbs:
+    def test_mbs1_no_branch_reuse(self, rn50):
+        sched = make_schedule(rn50, "mbs1")
+        assert not sched.branch_reuse
+        assert sched.relu_mask
+
+    def test_mbs2_branch_reuse(self, rn50):
+        assert make_schedule(rn50, "mbs2").branch_reuse
+
+    def test_group_sub_batch_is_member_min(self, rn50):
+        sched = make_schedule(rn50, "mbs2")
+        for g in sched.groups:
+            feas = [
+                feasible_sub_batch(rn50.blocks[i], sched.buffer_bytes, 32, True)
+                for i in g.blocks
+            ]
+            assert g.sub_batch == min(feas)
+
+    def test_groups_monotone_sub_batch_resnet(self, rn50):
+        """Down-sampling should produce non-decreasing sub-batch sizes."""
+        sizes = [g.sub_batch for g in make_schedule(rn50, "mbs2").groups]
+        assert sizes == sorted(sizes)
+
+    def test_tiny_buffer_spills_early_blocks(self, rn50):
+        sched = make_schedule(rn50, "mbs2", buffer_bytes=1 * MIB)
+        assert not sched.block_fused(0) or sched.groups[0].sub_batch >= 1
+        # at 1 MiB the big early blocks cannot hold one sample
+        assert any(
+            not f for g in sched.groups for f in g.block_fused
+        )
+
+    def test_opt_variants_cover(self, rn50):
+        for policy in ("mbs1-opt", "mbs2-opt"):
+            sched = make_schedule(rn50, policy)
+            assert sched.num_blocks == len(rn50.blocks)
+
+
+def test_mini_batch_override(rn50):
+    sched = make_schedule(rn50, "mbs2", mini_batch=64)
+    assert sched.mini_batch == 64
+    assert all(g.iterations >= 2 for g in sched.groups[:1])

@@ -1,0 +1,82 @@
+"""Unit tests for schedule data structures."""
+import pytest
+
+from repro.core.schedule import GroupPlan, Schedule, make_group
+
+
+def plan(blocks, sub_batch=4, iters=8, fused=None):
+    fused = fused if fused is not None else (True,) * len(blocks)
+    return GroupPlan(blocks=tuple(blocks), sub_batch=sub_batch,
+                     iterations=iters, block_fused=tuple(fused))
+
+
+def schedule(groups, **kw):
+    defaults = dict(policy="mbs2", network="toy", mini_batch=32,
+                    buffer_bytes=10 << 20, branch_reuse=True, relu_mask=True)
+    defaults.update(kw)
+    return Schedule(groups=tuple(groups), **defaults)
+
+
+class TestGroupPlan:
+    def test_non_contiguous_raises(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            plan([0, 2])
+
+    def test_fused_alignment_raises(self):
+        with pytest.raises(ValueError, match="align"):
+            plan([0, 1], fused=(True,))
+
+    def test_zero_iterations_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            plan([0], iters=0)
+
+
+class TestSchedule:
+    def test_partition_must_cover(self):
+        with pytest.raises(ValueError, match="partition"):
+            schedule([plan([0, 1]), plan([3])])
+
+    def test_group_of_block(self):
+        s = schedule([plan([0, 1]), plan([2, 3, 4])])
+        assert s.group_of_block(0).blocks == (0, 1)
+        assert s.group_of_block(4).blocks == (2, 3, 4)
+        with pytest.raises(IndexError):
+            s.group_of_block(9)
+
+    def test_boundary_on_chip_inside_group(self):
+        s = schedule([plan([0, 1]), plan([2, 3, 4])])
+        assert s.boundary_on_chip(0)
+        assert not s.boundary_on_chip(1)  # group boundary
+        assert s.boundary_on_chip(2)
+
+    def test_boundary_off_chip_when_unfused(self):
+        s = schedule([plan([0, 1], fused=(True, False)), plan([2])])
+        assert not s.boundary_on_chip(0)
+
+    def test_boundary_edges(self):
+        s = schedule([plan([0, 1])])
+        assert not s.boundary_on_chip(-1)
+        assert not s.boundary_on_chip(1)  # network output
+
+    def test_iterations_of_block(self):
+        s = schedule([plan([0], iters=16), plan([1], iters=2)])
+        assert s.iterations_of_block(0) == 16
+        assert s.iterations_of_block(1) == 2
+
+    def test_describe_lists_groups(self):
+        text = schedule([plan([0, 1]), plan([2])]).describe()
+        assert "group1" in text and "group2" in text
+        assert "sub-batch=4" in text
+
+
+class TestMakeGroup:
+    def test_marks_fused_by_feasibility(self):
+        g = make_group((0, 1, 2), sub_batch=4, mini_batch=32,
+                       feasible=[8, 2, 4])
+        assert g.block_fused == (True, False, True)
+        assert g.iterations == 8
+
+    def test_zero_sub_batch_is_single_pass(self):
+        g = make_group((0,), sub_batch=0, mini_batch=32, feasible=[0])
+        assert g.iterations == 1
+        assert g.block_fused == (False,)

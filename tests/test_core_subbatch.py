@@ -1,0 +1,79 @@
+"""Unit and property tests for sub-batch sizing."""
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.footprint import block_space_per_sample
+from repro.core.subbatch import (
+    feasible_sub_batch,
+    iteration_count,
+    per_block_sub_batches,
+    sub_batch_sequence,
+)
+from repro.types import MIB
+
+
+class TestFeasible:
+    def test_monotone_in_buffer(self, rn50):
+        block = rn50.blocks[2]
+        sizes = [
+            feasible_sub_batch(block, b * MIB, 32) for b in (1, 5, 10, 20, 40)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_capped_at_mini_batch(self, chain_net):
+        for block in chain_net.blocks:
+            assert feasible_sub_batch(block, 10**12, 16) == 16
+
+    def test_zero_when_nothing_fits(self, rn50):
+        assert feasible_sub_batch(rn50.blocks[0], 1024, 32) == 0
+
+    def test_zero_buffer(self, chain_net):
+        assert feasible_sub_batch(chain_net.blocks[0], 0, 16) == 0
+
+    def test_exact_division(self, rn50):
+        block = rn50.blocks[2]
+        space = block_space_per_sample(block, True)
+        assert feasible_sub_batch(block, 3 * space, 32, True) == 3
+        assert feasible_sub_batch(block, 3 * space - 1, 32, True) == 2
+
+    def test_branch_reuse_shrinks_sub_batch(self, rn50):
+        block = rn50.block_named("conv2_1")
+        with_reuse = feasible_sub_batch(block, 10 * MIB, 32, True)
+        without = feasible_sub_batch(block, 10 * MIB, 32, False)
+        assert with_reuse <= without
+
+
+class TestIterationCount:
+    @pytest.mark.parametrize("n,s,expect", [
+        (32, 3, 11), (32, 2, 16), (32, 32, 1), (32, 13, 3), (32, 0, 1),
+    ])
+    def test_values(self, n, s, expect):
+        assert iteration_count(n, s) == expect
+
+
+class TestSequence:
+    def test_paper_example(self):
+        # Fig. 5: 32 samples at sub-batch 3 → 3,3,3,3,3,3,3,3,3,3,2
+        assert sub_batch_sequence(32, 3) == [3] * 10 + [2]
+
+    def test_exact_division_no_remainder(self):
+        assert sub_batch_sequence(32, 16) == [16, 16]
+
+    def test_unfused_single_pass(self):
+        assert sub_batch_sequence(32, 0) == [32]
+
+    @given(st.integers(1, 512), st.integers(1, 512))
+    def test_sums_to_mini_batch(self, n, s):
+        seq = sub_batch_sequence(n, s)
+        assert sum(seq) == n
+        assert len(seq) == iteration_count(n, s)
+        assert all(0 < x <= s for x in seq)
+        assert all(x == s for x in seq[:-1])
+
+
+def test_per_block_profile_increases_with_depth(rn50):
+    """Down-sampling lets deeper layers take larger sub-batches (Fig. 4)."""
+    sizes = per_block_sub_batches(rn50, 10 * MIB)
+    assert sizes[2] < sizes[-2]  # early residual block vs conv5 block
+    assert all(s >= 1 for s in sizes)

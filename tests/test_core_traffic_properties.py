@@ -1,0 +1,93 @@
+"""Property-based tests over the traffic model (hypothesis)."""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import make_schedule
+from repro.core.traffic import compute_traffic
+from repro.graph.layers import NormKind
+from repro.types import KIB, MIB, Shape
+from repro.zoo import toy_chain, toy_inception, toy_residual
+
+
+@st.composite
+def chain_networks(draw):
+    """Random small chain networks with valid shapes."""
+    c = draw(st.sampled_from([1, 2, 3]))
+    hw = draw(st.sampled_from([8, 12, 16, 32]))
+    depth = draw(st.integers(1, 4))
+    widths = tuple(
+        draw(st.sampled_from([4, 8, 12, 16])) for _ in range(depth)
+    )
+    classes = draw(st.integers(2, 10))
+    batch = draw(st.integers(1, 32))
+    return toy_chain(
+        in_shape=Shape(c, hw, hw), widths=widths, num_classes=classes,
+        mini_batch=batch,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(chain_networks(), st.integers(8, 4096))
+def test_traffic_positive_and_consistent(net, buffer_kib):
+    for policy in ("baseline", "il", "mbs-fs", "mbs2"):
+        rep = compute_traffic(net, make_schedule(net, policy,
+                                                 buffer_bytes=buffer_kib * KIB))
+        assert rep.total_bytes > 0
+        assert all(r.bytes > 0 for r in rep.records)
+        assert rep.reads() + rep.writes() == rep.total_bytes
+        assert sum(rep.by_category().values()) == rep.total_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(chain_networks(), st.integers(8, 4096))
+def test_il_never_exceeds_baseline(net, buffer_kib):
+    """IL only removes transfers relative to the conventional flow."""
+    base = compute_traffic(net, make_schedule(net, "baseline"))
+    il = compute_traffic(net, make_schedule(net, "il",
+                                            buffer_bytes=buffer_kib * KIB))
+    assert il.total_bytes <= base.total_bytes
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(16, 10240))
+def test_mbs2_traffic_monotone_in_buffer_residual(buffer_kib):
+    """A larger buffer can only reduce MBS2 traffic on the residual toy."""
+    net = toy_residual()
+    small = compute_traffic(net, make_schedule(net, "mbs2",
+                                               buffer_bytes=buffer_kib * KIB))
+    large = compute_traffic(net, make_schedule(net, "mbs2",
+                                               buffer_bytes=4 * buffer_kib * KIB))
+    assert large.total_bytes <= small.total_bytes
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from([toy_residual, toy_inception]),
+       st.integers(64, 2048))
+def test_branch_reuse_saves_traffic_on_modules(builder, buffer_kib):
+    """MBS2 <= MBS1 on multi-branch networks (Sec. 3's 20% claim)."""
+    net = builder()
+    m1 = compute_traffic(net, make_schedule(net, "mbs1",
+                                            buffer_bytes=buffer_kib * KIB))
+    m2 = compute_traffic(net, make_schedule(net, "mbs2",
+                                            buffer_bytes=buffer_kib * KIB))
+    assert m2.total_bytes <= m1.total_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain_networks())
+def test_fused_mbs_beats_baseline_when_everything_fits(net):
+    """With a huge buffer MBS degenerates to one single-pass group, which
+    must dominate the conventional flow."""
+    base = compute_traffic(net, make_schedule(net, "baseline"))
+    mbs = compute_traffic(net, make_schedule(net, "mbs2",
+                                             buffer_bytes=10**12))
+    assert mbs.total_bytes < base.total_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain_networks(), st.integers(8, 4096))
+def test_traffic_deterministic(net, buffer_kib):
+    sched = make_schedule(net, "mbs2", buffer_bytes=buffer_kib * KIB)
+    a = compute_traffic(net, sched).total_bytes
+    b = compute_traffic(net, sched).total_bytes
+    assert a == b

@@ -1,0 +1,52 @@
+"""Smoke tests: every shipped example runs end to end."""
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "DRAM traffic/step" in out
+    assert "speedup" in out
+
+
+def test_custom_network_runs(capsys):
+    module = load("custom_network")
+    net = module.build_custom_net()
+    assert net.param_count > 0
+    module.main()
+    out = capsys.readouterr().out
+    assert "mbs2" in out and "MiB DRAM" in out
+
+
+def test_design_space_runs(capsys):
+    load("accelerator_design_space").main()
+    out = capsys.readouterr().out
+    assert "LPDDR4" in out and "frontier" in out
+
+
+def test_training_equivalence_runs(capsys):
+    load("training_equivalence").main()
+    out = capsys.readouterr().out
+    assert "identical trajectories" in out
+    assert "max |grad diff| = 0.00e+00" in out or "e-16" in out
+
+
+def test_train_mbs_cnn_runs(capsys):
+    load("train_mbs_cnn").main()
+    out = capsys.readouterr().out
+    assert "checkpoint saved" in out
+    assert "matches the trained model: True" in out

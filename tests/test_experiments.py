@@ -1,0 +1,131 @@
+"""Experiment drivers produce well-formed artifacts (cheap checks).
+
+The expensive paper-shape assertions live in test_paper_claims.py; here
+we verify each driver runs and returns the structure its figure needs.
+"""
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import (
+    ablation_grouping,
+    fig03_footprint,
+    fig04_grouping,
+    fig11_buffer_sweep,
+    fig12_memory_types,
+    fig13_gpu_comparison,
+    fig14_utilization,
+    headline,
+    tab02_area,
+)
+
+
+def test_registry_complete():
+    assert set(ALL_EXPERIMENTS) == {
+        "fig3", "fig4", "fig6", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "tab2", "ablation", "precision", "headline", "scaling",
+    }
+
+
+class TestFig3:
+    def test_sorted_descending(self):
+        res = fig03_footprint.run()
+        sizes = [s.inter_layer_bytes for s in res["layers"]]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_reusable_fraction_small(self):
+        res = fig03_footprint.run()
+        assert 0.0 < res["reusable_fraction"] < 0.15
+
+
+class TestFig4:
+    def test_groups_cover_blocks(self):
+        res = fig04_grouping.run()
+        covered = sorted(i for g in res["groups"] for i in g["blocks"])
+        assert covered == list(range(len(res["blocks"])))
+
+    def test_sequences_sum_to_mini_batch(self):
+        res = fig04_grouping.run()
+        for g in res["groups"]:
+            assert sum(g["sequence"]) == res["mini_batch"]
+
+    def test_iterations_shrink_with_depth(self):
+        res = fig04_grouping.run()
+        iters = [g["iterations"] for g in res["groups"]]
+        assert iters == sorted(iters, reverse=True)
+
+
+class TestFig11:
+    def test_reference_cell_is_one(self):
+        res = fig11_buffer_sweep.run()
+        assert res["normalized"][("il", 5)]["time"] == pytest.approx(1.0)
+        assert res["normalized"][("il", 5)]["traffic"] == pytest.approx(1.0)
+
+
+class TestFig12:
+    def test_kind_breakdown_sums(self):
+        res = fig12_memory_types.run()
+        for cell in res["cells"].values():
+            assert sum(cell["by_kind"].values()) == pytest.approx(
+                cell["time_s"]
+            )
+
+
+class TestFig13:
+    def test_speedups_defined_for_all_memories(self):
+        res = fig13_gpu_comparison.run(networks=("resnet50",))
+        row = res["rows"]["resnet50"]
+        assert set(row["speedup"]) == {"HBM2x2", "HBM2", "GDDR5", "LPDDR4"}
+        assert row["v100_s"] > 0
+
+
+class TestFig14:
+    def test_average_consistent(self):
+        res = fig14_utilization.run(networks=("resnet50", "alexnet"))
+        for policy, avg in res["average"].items():
+            grid_avg = (
+                res["grid"]["resnet50"][policy]
+                + res["grid"]["alexnet"][policy]
+            ) / 2
+            assert avg == pytest.approx(grid_avg)
+
+
+class TestTab2:
+    def test_paper_values(self):
+        res = tab02_area.run()
+        assert res["area"].total_mm2 == pytest.approx(534.0, abs=1.0)
+        assert res["tops_fp16"] == pytest.approx(45.9, abs=1.0)
+        assert res["buffer_mib"] == 20.0
+
+
+class TestAblation:
+    def test_gap_small_and_nonnegative(self):
+        res = ablation_grouping.run(networks=("resnet50",))
+        for policy_res in res["rows"]["resnet50"].values():
+            assert policy_res["optimal"] <= policy_res["greedy"]
+            assert 0.0 <= policy_res["gap"] < 0.05
+
+
+class TestHeadline:
+    def test_averages_present(self):
+        res = headline.run(networks=("resnet50",))
+        avg = res["average"]
+        assert set(avg) == {
+            "traffic_saving", "traffic_cut_x", "speedup_vs_baseline",
+            "perf_improvement", "energy_saving",
+        }
+
+
+class TestRunnerCli:
+    def test_unknown_artifact(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["nope"]) == 2
+
+    def test_help(self, capsys):
+        from repro.experiments.runner import main
+        assert main([]) == 0
+        assert "Artifacts" in capsys.readouterr().out
+
+    def test_dispatch_fig3(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["fig3"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""JSON export and the precision ablation."""
+import json
+
+import pytest
+
+from repro.experiments import ablation_precision
+from repro.experiments.export import _jsonify
+
+
+class TestPrecisionAblation:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return ablation_precision.run(networks=("resnet50",))
+
+    def test_fp32_doubles_baseline_feature_traffic_roughly(self, res):
+        cells = res["rows"]["resnet50"]
+        ratio = cells[4]["baseline_bytes"] / cells[2]["baseline_bytes"]
+        assert 1.7 < ratio < 2.1  # masks/indices don't scale with words
+
+    def test_fp32_shrinks_sub_batches(self, res):
+        cells = res["rows"]["resnet50"]
+        assert cells[4]["min_sub_batch"] <= cells[2]["min_sub_batch"]
+
+    def test_mbs_still_wins_at_fp32(self, res):
+        cells = res["rows"]["resnet50"]
+        assert cells[4]["cut"] > 2.5
+
+
+class TestJsonify:
+    def test_primitives_pass_through(self):
+        assert _jsonify({"a": 1, "b": [1.5, None, True]}) == {
+            "a": 1, "b": [1.5, None, True]
+        }
+
+    def test_dataclasses_expand(self):
+        from repro.wavecore.report import EnergyBreakdown
+        e = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        out = _jsonify(e)
+        assert out == {"dram_j": 1.0, "gbuf_j": 2.0, "compute_j": 3.0,
+                       "static_j": 4.0}
+
+    def test_enum_keys_and_values(self):
+        from repro.core.traffic import Category
+        out = _jsonify({Category.FEAT_RD: 10})
+        assert out == {"feature_read": 10}
+
+    def test_tuple_keys_flatten(self):
+        out = _jsonify({("mbs2", 5): 1.0})
+        assert out == {"mbs2/5": 1.0}
+
+    def test_numpy_values(self):
+        import numpy as np
+        assert _jsonify(np.float64(2.5)) == 2.5
+        assert _jsonify(np.arange(3)) == [0, 1, 2]
+
+    def test_experiment_result_serializes(self, tmp_path):
+        from repro.experiments import fig04_grouping
+        res = _jsonify(fig04_grouping.run())
+        text = json.dumps(res, default=repr)
+        assert "groups" in json.loads(text)
+
+
+def test_export_all_writes_file(tmp_path, monkeypatch):
+    """End-to-end export with a stubbed registry (fast)."""
+    import repro.experiments.export as export_mod
+    from repro.experiments import fig04_grouping, tab02_area
+
+    monkeypatch.setattr(
+        "repro.experiments.ALL_EXPERIMENTS",
+        {"fig4": fig04_grouping, "tab2": tab02_area},
+    )
+    path = tmp_path / "results.json"
+    results = export_mod.export_all(str(path))
+    assert set(results) == {"fig4", "tab2"}
+    loaded = json.loads(path.read_text())
+    assert loaded["tab2"]["area"]["pe_array_mm2"] > 0
+
+
+def test_word_size_scales_module_leaf_traffic():
+    """Regression: fp32 must scale ADD-merge leaf spills too (MBS1)."""
+    from repro.core.policies import make_schedule
+    from repro.core.traffic import TrafficOptions, compute_traffic
+    from repro.zoo import toy_residual
+
+    net = toy_residual()
+    t2 = compute_traffic(
+        net, make_schedule(net, "mbs1", word_bytes=2),
+        TrafficOptions(word_bytes=2),
+    ).total_bytes
+    t4 = compute_traffic(
+        net, make_schedule(net, "mbs1", word_bytes=4),
+        TrafficOptions(word_bytes=4),
+    ).total_bytes
+    assert 1.7 < t4 / t2 < 2.1

@@ -1,0 +1,156 @@
+"""Unit tests for blocks, branches (trees), and merges."""
+import pytest
+
+from repro.graph.blocks import Block, Branch, MergeKind, chain_block
+from repro.graph.layers import Activation, Conv2D, EltwiseAdd
+from repro.types import Shape
+
+
+def conv(name, in_shape, out_c, k=1, s=1, p=0):
+    return Conv2D(name=name, in_shape=in_shape, out_channels=out_c,
+                  kernel=k, stride=s, padding=p)
+
+
+IN = Shape(8, 16, 16)
+
+
+class TestBranch:
+    def test_tail_shape_chains(self):
+        br = Branch((conv("a", IN, 4), conv("b", Shape(4, 16, 16), 6)))
+        assert br.tail_shape(IN) == Shape(6, 16, 16)
+
+    def test_tail_shape_identity(self):
+        assert Branch().tail_shape(IN) == IN
+
+    def test_miswired_chain_raises(self):
+        br = Branch((conv("a", IN, 4), conv("b", Shape(5, 16, 16), 6)))
+        with pytest.raises(ValueError, match="mis-wired"):
+            br.tail_shape(IN)
+
+    def test_leaf_shapes_without_children(self):
+        br = Branch((conv("a", IN, 4),))
+        assert br.leaf_shapes(IN) == [Shape(4, 16, 16)]
+
+    def test_leaf_shapes_with_children(self):
+        stem = (conv("a", IN, 4),)
+        tail = Shape(4, 16, 16)
+        br = Branch(stem, children=(
+            Branch((conv("c1", tail, 2),)),
+            Branch((conv("c2", tail, 3),)),
+        ))
+        assert br.leaf_shapes(IN) == [Shape(2, 16, 16), Shape(3, 16, 16)]
+
+    def test_walk_order(self):
+        stem = (conv("a", IN, 4),)
+        tail = Shape(4, 16, 16)
+        br = Branch(stem, children=(
+            Branch((conv("c1", tail, 2),)),
+            Branch((conv("c2", tail, 3),)),
+        ))
+        assert [l.name for l in br.walk()] == ["a", "c1", "c2"]
+
+    def test_is_identity(self):
+        assert Branch().is_identity
+        assert not Branch((conv("a", IN, 4),)).is_identity
+
+
+class TestBlockAdd:
+    def make_residual(self):
+        main = Branch((conv("m1", IN, 8, k=3, p=1),))
+        return Block(
+            name="res", in_shape=IN, branches=(main, Branch()),
+            merge=MergeKind.ADD,
+            post_merge=(Activation(name="relu", in_shape=IN),),
+        )
+
+    def test_out_shape(self):
+        assert self.make_residual().out_shape == IN
+
+    def test_merge_layer_synthesized(self):
+        ml = self.make_residual().merge_layer
+        assert isinstance(ml, EltwiseAdd)
+        assert ml.in_shape == IN
+
+    def test_all_layers_includes_merge_and_post(self):
+        names = [l.name for l in self.make_residual().all_layers()]
+        assert names == ["m1", "res.add", "relu"]
+
+    def test_mismatched_add_raises(self):
+        main = Branch((conv("m1", IN, 4),))
+        with pytest.raises(ValueError, match="mismatched"):
+            Block(name="bad", in_shape=IN, branches=(main, Branch()),
+                  merge=MergeKind.ADD)
+
+    def test_is_module(self):
+        assert self.make_residual().is_module
+
+
+class TestBlockConcat:
+    def make_inception(self):
+        b1 = Branch((conv("b1", IN, 4),))
+        b2 = Branch((conv("b2", IN, 6, k=3, p=1),))
+        return Block(name="mix", in_shape=IN, branches=(b1, b2),
+                     merge=MergeKind.CONCAT)
+
+    def test_channels_sum(self):
+        assert self.make_inception().out_shape == Shape(10, 16, 16)
+
+    def test_no_merge_layer(self):
+        assert self.make_inception().merge_layer is None
+
+    def test_spatial_mismatch_raises(self):
+        b1 = Branch((conv("b1", IN, 4),))
+        b2 = Branch((conv("b2", IN, 4, k=3, s=2, p=1),))
+        with pytest.raises(ValueError, match="spatial"):
+            Block(name="bad", in_shape=IN, branches=(b1, b2),
+                  merge=MergeKind.CONCAT)
+
+    def test_forked_branch_concat(self):
+        stem = Branch(
+            (conv("s", IN, 4),),
+            children=(
+                Branch((conv("f1", Shape(4, 16, 16), 2),)),
+                Branch((conv("f2", Shape(4, 16, 16), 3),)),
+            ),
+        )
+        block = Block(name="fork", in_shape=IN, branches=(stem,),
+                      merge=MergeKind.CONCAT)
+        assert block.out_shape == Shape(5, 16, 16)
+        assert block.is_module
+
+
+class TestBlockValidation:
+    def test_empty_branches_raise(self):
+        with pytest.raises(ValueError, match="at least one branch"):
+            Block(name="b", in_shape=IN, branches=())
+
+    def test_multibranch_without_merge_raises(self):
+        with pytest.raises(ValueError, match="needs a merge"):
+            Block(name="b", in_shape=IN,
+                  branches=(Branch((conv("a", IN, 4),)), Branch()))
+
+    def test_single_chain_with_merge_raises(self):
+        with pytest.raises(ValueError, match="must not merge"):
+            Block(name="b", in_shape=IN,
+                  branches=(Branch((conv("a", IN, 4),)),),
+                  merge=MergeKind.ADD)
+
+    def test_post_merge_miswired_raises(self):
+        main = Branch((conv("m1", IN, 8, k=3, p=1),))
+        with pytest.raises(ValueError, match="post-merge"):
+            Block(name="b", in_shape=IN, branches=(main, Branch()),
+                  merge=MergeKind.ADD,
+                  post_merge=(Activation(name="r",
+                                         in_shape=Shape(4, 16, 16)),))
+
+
+class TestChainBlock:
+    def test_single_chain(self):
+        blk = chain_block("c", IN, [conv("a", IN, 4)])
+        assert not blk.is_module
+        assert blk.out_shape == Shape(4, 16, 16)
+        assert blk.param_count == 4 * 8
+
+    def test_macs_aggregate(self):
+        blk = chain_block("c", IN, [conv("a", IN, 4, k=3, p=1)])
+        assert blk.macs_per_sample == 4 * 16 * 16 * 8 * 9

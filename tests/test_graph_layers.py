@@ -1,0 +1,137 @@
+"""Unit tests for layer specs: shapes, parameters, MACs, validation."""
+import pytest
+
+from repro.graph.layers import (
+    Activation,
+    Conv2D,
+    EltwiseAdd,
+    FullyConnected,
+    LayerKind,
+    Norm,
+    NormKind,
+    Pool,
+    PoolKind,
+)
+from repro.types import Shape
+
+
+class TestConv2D:
+    def make(self, **kw):
+        defaults = dict(
+            name="c", in_shape=Shape(3, 32, 32), out_channels=8,
+            kernel=3, stride=1, padding=1,
+        )
+        defaults.update(kw)
+        return Conv2D(**defaults)
+
+    def test_out_shape_same_padding(self):
+        assert self.make().out_shape == Shape(8, 32, 32)
+
+    def test_param_count_no_bias(self):
+        assert self.make().param_count == 8 * 3 * 3 * 3
+
+    def test_param_count_with_bias(self):
+        assert self.make(bias=True).param_count == 8 * 3 * 3 * 3 + 8
+
+    def test_macs(self):
+        conv = self.make()
+        assert conv.macs_per_sample == 8 * 32 * 32 * 3 * 3 * 3
+
+    def test_int_kernel_normalized_to_pair(self):
+        assert self.make(kernel=5, padding=2).kernel == (5, 5)
+
+    def test_kind_and_systolic(self):
+        conv = self.make()
+        assert conv.kind is LayerKind.CONV
+        assert conv.is_systolic
+
+    def test_invalid_out_channels(self):
+        with pytest.raises(ValueError):
+            self.make(out_channels=0)
+
+    def test_invalid_geometry_raises_at_construction(self):
+        with pytest.raises(ValueError):
+            self.make(kernel=64, padding=0)
+
+    def test_param_bytes(self):
+        assert self.make().param_bytes() == 8 * 27 * 2
+
+
+class TestFullyConnected:
+    def test_out_shape(self):
+        fc = FullyConnected(name="f", in_shape=Shape(2048, 1, 1),
+                            out_features=1000)
+        assert fc.out_shape == Shape(1000, 1, 1)
+
+    def test_param_count_with_bias(self):
+        fc = FullyConnected(name="f", in_shape=Shape(512, 1, 1),
+                            out_features=10)
+        assert fc.param_count == 512 * 10 + 10
+
+    def test_flattens_spatial_input(self):
+        fc = FullyConnected(name="f", in_shape=Shape(256, 6, 6),
+                            out_features=100, bias=False)
+        assert fc.param_count == 256 * 36 * 100
+        assert fc.macs_per_sample == 256 * 36 * 100
+
+    def test_invalid_out_features(self):
+        with pytest.raises(ValueError):
+            FullyConnected(name="f", in_shape=Shape(8, 1, 1), out_features=0)
+
+    def test_is_systolic(self):
+        fc = FullyConnected(name="f", in_shape=Shape(8, 1, 1), out_features=4)
+        assert fc.is_systolic
+
+
+class TestNorm:
+    def test_shape_preserving(self):
+        n = Norm(name="n", in_shape=Shape(64, 8, 8))
+        assert n.out_shape == n.in_shape
+
+    def test_param_count_scale_and_shift(self):
+        n = Norm(name="n", in_shape=Shape(64, 8, 8))
+        assert n.param_count == 128
+
+    def test_group_validation(self):
+        with pytest.raises(ValueError):
+            Norm(name="n", in_shape=Shape(64, 8, 8), groups=0)
+
+    def test_batch_kind(self):
+        n = Norm(name="n", in_shape=Shape(4, 2, 2), norm=NormKind.BATCH)
+        assert n.kind is LayerKind.NORM
+        assert not n.is_systolic
+
+    def test_no_macs(self):
+        assert Norm(name="n", in_shape=Shape(4, 2, 2)).macs_per_sample == 0
+
+
+class TestActivation:
+    def test_identity_shape(self):
+        a = Activation(name="a", in_shape=Shape(5, 3, 3))
+        assert a.out_shape == a.in_shape
+        assert a.kind is LayerKind.ACT
+        assert a.param_count == 0
+
+
+class TestPool:
+    def test_max_pool_shape(self):
+        p = Pool(name="p", in_shape=Shape(64, 112, 112), pool=PoolKind.MAX,
+                 kernel=3, stride=2, padding=1)
+        assert p.out_shape == Shape(64, 56, 56)
+
+    def test_global_pool(self):
+        p = Pool(name="p", in_shape=Shape(2048, 7, 7), global_pool=True)
+        assert p.out_shape == Shape(2048, 1, 1)
+
+    def test_no_params(self):
+        p = Pool(name="p", in_shape=Shape(4, 4, 4), kernel=2, stride=2)
+        assert p.param_count == 0
+        assert not p.is_systolic
+
+
+class TestEltwiseAdd:
+    def test_shape_and_kind(self):
+        add = EltwiseAdd(name="s", in_shape=Shape(256, 56, 56))
+        assert add.out_shape == add.in_shape
+        assert add.kind is LayerKind.ADD
+        assert add.param_count == 0

@@ -1,0 +1,68 @@
+"""Unit tests for the Network container."""
+import pytest
+
+from repro.graph.blocks import chain_block
+from repro.graph.layers import Conv2D
+from repro.graph.network import Network
+from repro.types import Shape
+
+
+def conv_block(name, in_shape, out_c):
+    layer = Conv2D(name=f"{name}.conv", in_shape=in_shape, out_channels=out_c,
+                   kernel=3, padding=1)
+    return chain_block(name, in_shape, [layer])
+
+
+IN = Shape(3, 8, 8)
+
+
+def test_shape_flow_validation():
+    b1 = conv_block("a", IN, 4)
+    b2 = conv_block("b", Shape(4, 8, 8), 6)
+    net = Network("n", IN, (b1, b2))
+    assert net.out_shape == Shape(6, 8, 8)
+
+
+def test_miswired_blocks_raise():
+    b1 = conv_block("a", IN, 4)
+    b2 = conv_block("b", Shape(5, 8, 8), 6)
+    with pytest.raises(ValueError, match="expects input"):
+        Network("n", IN, (b1, b2))
+
+
+def test_empty_network_raises():
+    with pytest.raises(ValueError, match="at least one block"):
+        Network("n", IN, ())
+
+
+def test_invalid_mini_batch():
+    with pytest.raises(ValueError, match="mini-batch"):
+        Network("n", IN, (conv_block("a", IN, 4),), default_mini_batch=0)
+
+
+def test_all_layers_order():
+    net = Network("n", IN, (conv_block("a", IN, 4),
+                            conv_block("b", Shape(4, 8, 8), 6)))
+    assert [l.name for l in net.all_layers()] == ["a.conv", "b.conv"]
+
+
+def test_param_count_sums_blocks():
+    net = Network("n", IN, (conv_block("a", IN, 4),
+                            conv_block("b", Shape(4, 8, 8), 6)))
+    assert net.param_count == 4 * 3 * 9 + 6 * 4 * 9
+
+
+def test_macs_sum(chain_net):
+    assert chain_net.macs_per_sample == sum(
+        b.macs_per_sample for b in chain_net.blocks
+    )
+
+
+def test_block_named(chain_net):
+    assert chain_net.block_named("head").name == "head"
+    with pytest.raises(KeyError):
+        chain_net.block_named("nope")
+
+
+def test_len(chain_net):
+    assert len(chain_net) == len(chain_net.blocks)

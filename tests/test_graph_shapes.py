@@ -1,0 +1,48 @@
+"""Unit tests for spatial shape arithmetic."""
+import pytest
+
+from repro.graph.shapes import conv_out_shape, pool_out_shape, window_out
+from repro.types import Shape
+
+
+class TestWindowOut:
+    @pytest.mark.parametrize("size,k,s,p,expect", [
+        (224, 7, 2, 3, 112),   # ResNet conv1
+        (112, 3, 2, 1, 56),    # ResNet pool1
+        (56, 3, 1, 1, 56),     # same-padded 3x3
+        (299, 3, 2, 0, 149),   # Inception stem
+        (227, 11, 4, 0, 55),   # AlexNet conv1
+        (8, 1, 1, 0, 8),       # 1x1
+    ])
+    def test_known_layers(self, size, k, s, p, expect):
+        assert window_out(size, k, s, p) == expect
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            window_out(2, 5, 1, 0)
+
+
+class TestConvOutShape:
+    def test_resnet_conv1(self):
+        out = conv_out_shape(Shape(3, 224, 224), 64, (7, 7), (2, 2), (3, 3))
+        assert out == Shape(64, 112, 112)
+
+    def test_asymmetric_kernel(self):
+        out = conv_out_shape(Shape(768, 17, 17), 128, (1, 7), (1, 1), (0, 3))
+        assert out == Shape(128, 17, 17)
+        out = conv_out_shape(Shape(768, 17, 17), 128, (7, 1), (1, 1), (3, 0))
+        assert out == Shape(128, 17, 17)
+
+    def test_channels_independent_of_input_channels(self):
+        out = conv_out_shape(Shape(64, 10, 10), 32, (3, 3), (1, 1), (1, 1))
+        assert out.c == 32
+
+
+class TestPoolOutShape:
+    def test_resnet_pool1(self):
+        assert pool_out_shape(
+            Shape(64, 112, 112), (3, 3), (2, 2), (1, 1)
+        ) == Shape(64, 56, 56)
+
+    def test_preserves_channels(self):
+        assert pool_out_shape(Shape(17, 8, 8), (2, 2), (2, 2), (0, 0)).c == 17

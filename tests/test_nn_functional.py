@@ -1,0 +1,174 @@
+"""Kernel correctness: brute-force references and finite differences."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+def conv2d_reference(x, w, bias, stride, padding):
+    """Naive loop convolution for small cases."""
+    sh, sw = (stride, stride) if isinstance(stride, int) else stride
+    ph, pw = (padding, padding) if isinstance(padding, int) else padding
+    n, ci, hi, wi = x.shape
+    co, _, r, s = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    ho = (hi + 2 * ph - r) // sh + 1
+    wo = (wi + 2 * pw - s) // sw + 1
+    y = np.zeros((n, co, ho, wo))
+    for b in range(n):
+        for o in range(co):
+            for i in range(ho):
+                for j in range(wo):
+                    patch = xp[b, :, i * sh : i * sh + r, j * sw : j * sw + s]
+                    y[b, o, i, j] = (patch * w[o]).sum()
+            if bias is not None:
+                y[b, o] += bias[o]
+    return y
+
+
+CONV_CASES = [
+    # (ci, co, hi, wi, r, s, stride, padding)
+    (2, 3, 6, 6, 3, 3, 1, 1),
+    (1, 2, 5, 5, 3, 3, 2, 1),
+    (3, 4, 8, 8, 1, 1, 1, 0),
+    (2, 2, 7, 7, 5, 5, 1, 2),
+    (2, 3, 9, 9, 3, 3, 3, 1),   # stride with uncovered border pixels
+    (2, 2, 8, 8, 7, 7, 2, 3),   # ResNet-conv1-like geometry
+    (2, 3, 6, 8, 1, 3, 1, (0, 1)),  # asymmetric inception kernel
+    (2, 3, 8, 6, 3, 1, 1, (1, 0)),
+]
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("ci,co,hi,wi,r,s,stride,padding", CONV_CASES)
+    def test_matches_reference(self, ci, co, hi, wi, r, s, stride, padding,
+                               rng):
+        x = rng.normal(size=(2, ci, hi, wi))
+        w = rng.normal(size=(co, ci, r, s))
+        bias = rng.normal(size=co)
+        got = F.conv2d_forward(x, w, bias, stride, padding)
+        np.testing.assert_allclose(
+            got, conv2d_reference(x, w, bias, stride, padding), atol=1e-10
+        )
+
+    def test_linearity(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        y1 = F.conv2d_forward(2.5 * x, w, None, 1, 1)
+        y2 = 2.5 * F.conv2d_forward(x, w, None, 1, 1)
+        np.testing.assert_allclose(y1, y2, atol=1e-10)
+
+
+def finite_diff(f, x, dy, eps=1e-6):
+    """Numerical gradient of sum(f(x)*dy) w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        up = (f() * dy).sum()
+        flat[i] = old - eps
+        down = (f() * dy).sum()
+        flat[i] = old
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestConvBackward:
+    @pytest.mark.parametrize("ci,co,hi,wi,r,s,stride,padding", CONV_CASES)
+    def test_gradients_by_finite_difference(self, ci, co, hi, wi, r, s,
+                                            stride, padding, rng):
+        x = rng.normal(size=(2, ci, hi, wi))
+        w = rng.normal(size=(co, ci, r, s))
+        b = rng.normal(size=co)
+        y = F.conv2d_forward(x, w, b, stride, padding)
+        dy = rng.normal(size=y.shape)
+        dx, dw, db = F.conv2d_backward(x, w, dy, stride, padding, True)
+
+        num_dx = finite_diff(
+            lambda: F.conv2d_forward(x, w, b, stride, padding), x, dy
+        )
+        np.testing.assert_allclose(dx, num_dx, atol=1e-4)
+        num_dw = finite_diff(
+            lambda: F.conv2d_forward(x, w, b, stride, padding), w, dy
+        )
+        np.testing.assert_allclose(dw, num_dw, atol=1e-4)
+        np.testing.assert_allclose(db, dy.sum(axis=(0, 2, 3)), atol=1e-10)
+
+    def test_oversized_padding_rejected(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        w = rng.normal(size=(1, 1, 3, 3))
+        y = F.conv2d_forward(x, w, None, 1, 5)
+        dy = rng.normal(size=y.shape)
+        with pytest.raises(ValueError, match="padding"):
+            F.conv2d_backward(x, w, dy, 1, 5, False)
+
+
+class TestPooling:
+    def test_maxpool_forward_known(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y, _ = F.maxpool_forward(x, 2, 2, 0)
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y, cache = F.maxpool_forward(x, 2, 2, 0)
+        dy = np.ones_like(y)
+        dx = F.maxpool_backward(dy, cache)
+        expect = np.zeros((4, 4))
+        expect[1, 1] = expect[1, 3] = expect[3, 1] = expect[3, 3] = 1
+        np.testing.assert_array_equal(dx[0, 0], expect)
+
+    @pytest.mark.parametrize("k,s,p", [(2, 2, 0), (3, 2, 1), (3, 1, 1)])
+    def test_maxpool_fd(self, k, s, p, rng):
+        x = rng.normal(size=(2, 2, 6, 6))
+        y, cache = F.maxpool_forward(x, k, s, p)
+        dy = rng.normal(size=y.shape)
+        dx = F.maxpool_backward(dy, cache)
+        num = finite_diff(lambda: F.maxpool_forward(x, k, s, p)[0], x, dy)
+        np.testing.assert_allclose(dx, num, atol=1e-4)
+
+    @pytest.mark.parametrize("k,s,p", [(2, 2, 0), (3, 1, 1)])
+    def test_avgpool_fd(self, k, s, p, rng):
+        x = rng.normal(size=(2, 2, 6, 6))
+        y, cache = F.avgpool_forward(x, k, s, p)
+        dy = rng.normal(size=y.shape)
+        dx = F.avgpool_backward(dy, cache)
+        num = finite_diff(lambda: F.avgpool_forward(x, k, s, p)[0], x, dy)
+        np.testing.assert_allclose(dx, num, atol=1e-4)
+
+    def test_global_avgpool_roundtrip(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        y, shape = F.global_avgpool_forward(x)
+        np.testing.assert_allclose(y[..., 0, 0], x.mean(axis=(2, 3)))
+        dy = rng.normal(size=y.shape)
+        dx = F.global_avgpool_backward(dy, shape)
+        np.testing.assert_allclose(dx, np.broadcast_to(dy / 16, x.shape))
+
+    def test_maxpool_padding_never_wins(self, rng):
+        """-inf padding means border maxima come from real pixels."""
+        x = -np.abs(rng.normal(size=(1, 1, 4, 4))) - 1
+        y, _ = F.maxpool_forward(x, 3, 2, 1)
+        assert np.isfinite(y).all()
+        assert (y < 0).all()
+
+
+class TestRelu:
+    def test_forward_and_mask(self):
+        x = np.array([[-1.0, 2.0], [0.0, -3.0]])
+        y, mask = F.relu_forward(x)
+        np.testing.assert_array_equal(y, [[0, 2], [0, 0]])
+        np.testing.assert_array_equal(mask, [[False, True], [False, False]])
+
+    @given(st.integers(1, 5), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_backward_masks_gradient(self, n, m):
+        rng = np.random.default_rng(n * 10 + m)
+        x = rng.normal(size=(n, m))
+        _, mask = F.relu_forward(x)
+        dy = rng.normal(size=(n, m))
+        dx = F.relu_backward(dy, mask)
+        np.testing.assert_allclose(dx, dy * (x > 0))

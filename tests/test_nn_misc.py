@@ -1,0 +1,164 @@
+"""Loss, optimizer, dataset, and training-loop tests."""
+import numpy as np
+import pytest
+
+from repro.graph.layers import NormKind
+from repro.nn.data import synthetic_dataset
+from repro.nn.loss import softmax_cross_entropy
+from repro.nn.model import NetworkModel
+from repro.nn.optim import SGD
+from repro.nn.train import train
+from repro.zoo import toy_chain
+
+
+class TestLoss:
+    def test_uniform_logits(self):
+        logits = np.zeros((4, 8))
+        labels = np.arange(4)
+        loss, dlogits, correct = softmax_cross_entropy(logits, labels)
+        assert loss == pytest.approx(4 * np.log(8))
+        np.testing.assert_allclose(dlogits.sum(axis=1), 0, atol=1e-12)
+
+    def test_gradient_fd(self, rng):
+        logits = rng.normal(size=(3, 5))
+        labels = rng.integers(0, 5, 3)
+        _, dlogits, _ = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(5):
+                lp = logits.copy()
+                lp[i, j] += eps
+                lm = logits.copy()
+                lm[i, j] -= eps
+                num = (
+                    softmax_cross_entropy(lp, labels)[0]
+                    - softmax_cross_entropy(lm, labels)[0]
+                ) / (2 * eps)
+                assert dlogits[i, j] == pytest.approx(num, abs=1e-5)
+
+    def test_correct_count(self):
+        logits = np.array([[5.0, 0.0], [0.0, 5.0], [5.0, 0.0]])
+        _, _, correct = softmax_cross_entropy(logits, np.array([0, 1, 1]))
+        assert correct == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros(5), np.zeros(5, dtype=int))
+
+    def test_numerically_stable_for_large_logits(self):
+        logits = np.array([[1000.0, 0.0]])
+        loss, dlogits, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss) and np.isfinite(dlogits).all()
+
+
+class TestSGD:
+    def make_model(self):
+        return NetworkModel(toy_chain(widths=(4,)), seed=0)
+
+    def test_step_moves_against_gradient(self, rng):
+        model = self.make_model()
+        opt = SGD(model, lr=0.1, momentum=0.0)
+        name, p, g = next(iter(model.parameters()))
+        before = p.copy()
+        g[...] = 1.0
+        opt.step(batch_size=1)
+        np.testing.assert_allclose(p, before - 0.1)
+
+    def test_batch_size_scaling(self):
+        m1, m2 = self.make_model(), self.make_model()
+        for m, bs in ((m1, 1), (m2, 4)):
+            opt = SGD(m, lr=0.1, momentum=0.0)
+            for _, p, g in m.parameters():
+                g[...] = bs  # sum-gradient scales with batch
+            opt.step(batch_size=bs)
+        np.testing.assert_allclose(
+            next(iter(m1.parameters()))[1], next(iter(m2.parameters()))[1]
+        )
+
+    def test_momentum_accumulates(self):
+        model = self.make_model()
+        opt = SGD(model, lr=0.1, momentum=0.9)
+        name, p, g = next(iter(model.parameters()))
+        start = p.copy()
+        g[...] = 1.0
+        opt.step(1)
+        first_move = (p - start).copy()
+        g[...] = 1.0
+        opt.step(1)
+        second_move = p - start - first_move
+        np.testing.assert_allclose(second_move, first_move * 1.9)
+
+    def test_lr_decay_schedule(self):
+        model = self.make_model()
+        opt = SGD(model, lr=1.0, decay_epochs=(2, 4), decay_factor=0.1)
+        opt.set_epoch(0)
+        assert opt.lr == 1.0
+        opt.set_epoch(2)
+        assert opt.lr == pytest.approx(0.1)
+        opt.set_epoch(4)
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_weight_decay_shrinks_params(self):
+        model = self.make_model()
+        opt = SGD(model, lr=0.1, momentum=0.0, weight_decay=0.5)
+        name, p, g = next(iter(model.parameters()))
+        p[...] = 1.0
+        g[...] = 0.0
+        opt.step(1)
+        np.testing.assert_allclose(p, 0.95)
+
+    def test_invalid_batch_size(self):
+        opt = SGD(self.make_model())
+        with pytest.raises(ValueError):
+            opt.step(0)
+
+
+class TestDataset:
+    def test_deterministic(self):
+        a = synthetic_dataset(train=32, val=16, seed=5)
+        b = synthetic_dataset(train=32, val=16, seed=5)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_val, b.y_val)
+
+    def test_shapes_and_classes(self):
+        d = synthetic_dataset(train=40, val=24, size=16, channels=2,
+                              num_classes=5)
+        assert d.x_train.shape == (40, 2, 16, 16)
+        assert d.x_val.shape == (24, 2, 16, 16)
+        assert d.num_classes == 5
+        assert set(np.unique(d.y_train)) <= set(range(5))
+
+    def test_roughly_balanced(self):
+        d = synthetic_dataset(train=80, val=40, num_classes=8)
+        counts = np.bincount(d.y_train, minlength=8)
+        assert counts.min() >= 5
+
+    def test_classes_are_separable_signal(self):
+        """Mean images of different classes must differ far above noise."""
+        d = synthetic_dataset(train=128, val=8, noise=0.3, num_classes=4)
+        means = [
+            d.x_train[d.y_train == c].mean(axis=0) for c in range(4)
+        ]
+        gap = np.abs(means[0] - means[1]).mean()
+        assert gap > 0.1
+
+
+class TestTrainLoop:
+    def test_learns_and_records(self):
+        data = synthetic_dataset(train=512, val=128, noise=0.6, seed=3)
+        net = toy_chain(widths=(16, 32, 64), norm=NormKind.GROUP)
+        model = NetworkModel(net, seed=5, dtype=np.float32)
+        result = train(model, data, epochs=3, batch=32, lr=0.05, seed=11)
+        assert len(result.val_error) == 3
+        assert result.val_error[-1] < 0.3  # chance is 0.875
+        assert len(result.first_norm_mean) == 3
+
+    def test_mbs_identical_history(self):
+        data = synthetic_dataset(train=64, val=32, seed=2)
+        net = toy_chain(widths=(8,), norm=NormKind.GROUP)
+        a = train(NetworkModel(net, seed=1), data, epochs=2, batch=16,
+                  seed=9)
+        b = train(NetworkModel(net, seed=1), data, epochs=2, batch=16,
+                  sub_batch=5, seed=9)
+        np.testing.assert_allclose(a.train_loss, b.train_loss, rtol=1e-10)
+        assert a.val_error == b.val_error

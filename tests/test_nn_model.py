@@ -1,0 +1,125 @@
+"""Graph-interpreter model: structure, shapes, gradient plumbing."""
+import numpy as np
+import pytest
+
+from repro.graph.layers import NormKind
+from repro.nn.layers import NNConv, NNNorm, build_layer
+from repro.nn.loss import softmax_cross_entropy
+from repro.nn.model import NetworkModel
+from repro.types import Shape
+from repro.zoo import toy_chain, toy_inception, toy_residual
+
+
+class TestBuildLayer:
+    def test_dispatch(self, chain_net, rng):
+        for spec in chain_net.all_layers():
+            module = build_layer(spec, rng)
+            assert module.spec is spec
+
+    def test_unknown_spec_raises(self, rng):
+        with pytest.raises(TypeError):
+            build_layer(object(), rng)
+
+    def test_conv_param_shapes(self, rng):
+        from repro.graph.layers import Conv2D
+        spec = Conv2D(name="c", in_shape=Shape(3, 8, 8), out_channels=5,
+                      kernel=3, padding=1, bias=True)
+        conv = NNConv(spec, rng)
+        assert conv.params["w"].shape == (5, 3, 3, 3)
+        assert conv.params["b"].shape == (5,)
+
+    def test_grad_accumulation(self, rng):
+        from repro.graph.layers import Conv2D
+        spec = Conv2D(name="c", in_shape=Shape(2, 4, 4), out_channels=3,
+                      kernel=3, padding=1)
+        conv = NNConv(spec, rng)
+        x = rng.normal(size=(2, 2, 4, 4))
+        y = conv.forward(x)
+        conv.backward(np.ones_like(y))
+        once = conv.grads["w"].copy()
+        conv.forward(x)
+        conv.backward(np.ones_like(y))
+        np.testing.assert_allclose(conv.grads["w"], 2 * once)
+        conv.zero_grads()
+        assert not conv.grads["w"].any()
+
+
+@pytest.mark.parametrize("builder", [toy_chain, toy_residual, toy_inception])
+class TestModelStructure:
+    def test_forward_shape(self, builder, rng):
+        net = builder()
+        model = NetworkModel(net, seed=0)
+        x = rng.normal(size=(3, *vars(net.in_shape).values()))
+        logits = model.forward(x)
+        assert logits.shape == (3, net.out_shape.elems)
+
+    def test_param_count_matches_graph(self, builder):
+        net = builder()
+        model = NetworkModel(net, seed=0)
+        assert model.param_count() == net.param_count
+
+    def test_backward_runs_and_populates_grads(self, builder, rng):
+        net = builder()
+        model = NetworkModel(net, seed=0)
+        x = rng.normal(size=(4, *vars(net.in_shape).values()))
+        y = rng.integers(0, net.out_shape.elems, 4)
+        logits = model.forward(x)
+        _, dlogits, _ = softmax_cross_entropy(logits, y)
+        model.backward(dlogits)
+        g = model.gradient_vector()
+        assert g.shape[0] == net.param_count
+        assert np.abs(g).max() > 0
+
+    def test_deterministic_init(self, builder, rng):
+        net = builder()
+        a = NetworkModel(net, seed=7)
+        b = NetworkModel(net, seed=7)
+        x = rng.normal(size=(2, *vars(net.in_shape).values()))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_different_seeds_differ(self, builder, rng):
+        net = builder()
+        a = NetworkModel(net, seed=1)
+        b = NetworkModel(net, seed=2)
+        x = rng.normal(size=(2, *vars(net.in_shape).values()))
+        assert not np.allclose(a.forward(x), b.forward(x))
+
+
+class TestProbes:
+    def test_norm_output_means_recorded(self, rng):
+        net = toy_chain(norm=NormKind.GROUP)
+        model = NetworkModel(net, seed=0)
+        x = rng.normal(size=(2, 3, 32, 32))
+        model.forward(x)
+        means = model.norm_output_means()
+        norm_names = {
+            m.spec.name for m in model.modules() if isinstance(m, NNNorm)
+        }
+        assert set(means) == norm_names
+        assert all(np.isfinite(v) for v in means.values())
+
+    def test_pre_activation_means_for_unnormalized(self, rng):
+        net = toy_chain(norm=None)
+        model = NetworkModel(net, seed=0)
+        model.forward(rng.normal(size=(2, 3, 32, 32)))
+        assert model.norm_output_means() == {}
+        assert model.pre_activation_means()
+
+
+class TestResidualSemantics:
+    def test_identity_shortcut_adds_input(self, rng):
+        """Zeroing the main branch's last norm gamma makes the residual
+        block an identity + ReLU."""
+        net = toy_residual()
+        model = NetworkModel(net, seed=0)
+        # find the second residual exec block (identity shortcut)
+        block = model.blocks[2]
+        main = block.branches[0]
+        last_norm = [m for m in main.modules() if isinstance(m, NNNorm)][-1]
+        last_norm.params["gamma"][...] = 0.0
+        x = rng.normal(size=(2, 32, 16, 16))
+        y = block.forward(x, training=True)
+        beta_lift = last_norm.params["beta"]
+        np.testing.assert_allclose(
+            y, np.maximum(x + beta_lift[None, :, None, None], 0.0), atol=1e-12
+        )

@@ -1,0 +1,105 @@
+"""Batch/group normalization: statistics, gradients, MBS-compatibility."""
+import numpy as np
+import pytest
+
+from repro.nn.norm import (
+    batchnorm_backward,
+    batchnorm_forward,
+    groupnorm_backward,
+    groupnorm_forward,
+)
+
+
+def fd_input_grad(fwd, x, dy, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat, gflat = x.ravel(), grad.ravel()
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        up = (fwd()[0] * dy).sum()
+        flat[i] = old - eps
+        down = (fwd()[0] * dy).sum()
+        flat[i] = old
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestBatchNorm:
+    def test_normalizes_per_channel(self, rng):
+        x = rng.normal(3.0, 2.0, size=(8, 4, 5, 5))
+        y, _ = batchnorm_forward(x, np.ones(4), np.zeros(4))
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), 0, atol=1e-10)
+        np.testing.assert_allclose(y.var(axis=(0, 2, 3)), 1, atol=1e-3)
+
+    def test_affine_applied(self, rng):
+        x = rng.normal(size=(4, 2, 3, 3))
+        gamma, beta = np.array([2.0, 0.5]), np.array([1.0, -1.0])
+        y, _ = batchnorm_forward(x, gamma, beta)
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), beta, atol=1e-10)
+
+    def test_backward_fd(self, rng):
+        x = rng.normal(size=(3, 2, 4, 4))
+        gamma, beta = rng.normal(size=2), rng.normal(size=2)
+        y, cache = batchnorm_forward(x, gamma, beta)
+        dy = rng.normal(size=y.shape)
+        dx, dgamma, dbeta = batchnorm_backward(dy, cache)
+        num = fd_input_grad(lambda: batchnorm_forward(x, gamma, beta), x, dy)
+        np.testing.assert_allclose(dx, num, atol=1e-4)
+        xhat = cache[0]
+        np.testing.assert_allclose(dgamma, (dy * xhat).sum(axis=(0, 2, 3)))
+        np.testing.assert_allclose(dbeta, dy.sum(axis=(0, 2, 3)))
+
+    def test_couples_samples(self, rng):
+        """BN output of sample 0 depends on other samples in the batch —
+        the fundamental MBS incompatibility."""
+        x = rng.normal(size=(4, 2, 3, 3))
+        y_full, _ = batchnorm_forward(x, np.ones(2), np.zeros(2))
+        y_half, _ = batchnorm_forward(x[:2], np.ones(2), np.zeros(2))
+        assert not np.allclose(y_full[:2], y_half)
+
+
+class TestGroupNorm:
+    def test_normalizes_per_group(self, rng):
+        x = rng.normal(5.0, 3.0, size=(4, 6, 5, 5))
+        y, _ = groupnorm_forward(x, np.ones(6), np.zeros(6), groups=3)
+        yg = y.reshape(4, 3, 2, 5, 5)
+        np.testing.assert_allclose(yg.mean(axis=(2, 3, 4)), 0, atol=1e-10)
+        np.testing.assert_allclose(yg.var(axis=(2, 3, 4)), 1, atol=1e-3)
+
+    def test_group_divisibility_enforced(self, rng):
+        x = rng.normal(size=(1, 5, 2, 2))
+        with pytest.raises(ValueError, match="divisible"):
+            groupnorm_forward(x, np.ones(5), np.zeros(5), groups=2)
+
+    def test_backward_fd(self, rng):
+        x = rng.normal(size=(2, 4, 3, 3))
+        gamma, beta = rng.normal(size=4), rng.normal(size=4)
+        y, cache = groupnorm_forward(x, gamma, beta, groups=2)
+        dy = rng.normal(size=y.shape)
+        dx, dgamma, dbeta = groupnorm_backward(dy, cache)
+        num = fd_input_grad(
+            lambda: groupnorm_forward(x, gamma, beta, groups=2), x, dy
+        )
+        np.testing.assert_allclose(dx, num, atol=1e-4)
+        np.testing.assert_allclose(dbeta, dy.sum(axis=(0, 2, 3)))
+
+    def test_sample_independence(self, rng):
+        """GN of one sample is invariant to which batch it travels in —
+        the property that makes GN MBS-compatible (paper Sec. 3.1)."""
+        x = rng.normal(size=(6, 4, 3, 3))
+        gamma, beta = rng.normal(size=4), rng.normal(size=4)
+        y_full, _ = groupnorm_forward(x, gamma, beta, groups=2)
+        y_sub, _ = groupnorm_forward(x[2:4], gamma, beta, groups=2)
+        np.testing.assert_allclose(y_full[2:4], y_sub, atol=1e-12)
+
+    def test_instance_norm_limit(self, rng):
+        """groups == channels degenerates to instance normalization."""
+        x = rng.normal(size=(2, 3, 4, 4))
+        y, _ = groupnorm_forward(x, np.ones(3), np.zeros(3), groups=3)
+        np.testing.assert_allclose(y.mean(axis=(2, 3)), 0, atol=1e-10)
+
+    def test_layer_norm_limit(self, rng):
+        """groups == 1 normalizes over the whole sample."""
+        x = rng.normal(size=(2, 4, 3, 3))
+        y, _ = groupnorm_forward(x, np.ones(4), np.zeros(4), groups=1)
+        np.testing.assert_allclose(y.mean(axis=(1, 2, 3)), 0, atol=1e-10)

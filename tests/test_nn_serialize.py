@@ -1,0 +1,73 @@
+"""Checkpoint save/load roundtrips."""
+import numpy as np
+import pytest
+
+from repro.nn.model import NetworkModel
+from repro.nn.serialize import (
+    load_state_dict,
+    load_weights,
+    save_weights,
+    state_dict,
+)
+from repro.zoo import toy_inception, toy_residual
+
+
+def test_state_dict_covers_all_params(residual_net):
+    model = NetworkModel(residual_net, seed=0)
+    state = state_dict(model)
+    assert sum(v.size for v in state.values()) == residual_net.param_count
+
+
+def test_roundtrip_preserves_outputs(tmp_path, rng):
+    net = toy_residual()
+    src = NetworkModel(net, seed=1)
+    dst = NetworkModel(net, seed=2)  # different init
+    x = rng.normal(size=(2, 3, 32, 32))
+    assert not np.allclose(src.forward(x), dst.forward(x))
+    path = str(tmp_path / "ckpt.npz")
+    save_weights(src, path)
+    load_weights(dst, path)
+    np.testing.assert_array_equal(src.forward(x), dst.forward(x))
+
+
+def test_state_dict_copies_are_independent(residual_net):
+    model = NetworkModel(residual_net, seed=0)
+    state = state_dict(model)
+    name = next(iter(state))
+    state[name] += 100.0
+    fresh = state_dict(model)
+    assert not np.allclose(state[name], fresh[name])
+
+
+def test_missing_keys_rejected(residual_net):
+    model = NetworkModel(residual_net, seed=0)
+    state = state_dict(model)
+    state.pop(next(iter(state)))
+    with pytest.raises(ValueError, match="state mismatch"):
+        load_state_dict(model, state)
+
+
+def test_extra_keys_rejected(residual_net):
+    model = NetworkModel(residual_net, seed=0)
+    state = state_dict(model)
+    state["phantom.w"] = np.zeros(3)
+    with pytest.raises(ValueError, match="state mismatch"):
+        load_state_dict(model, state)
+
+
+def test_shape_mismatch_rejected(residual_net):
+    model = NetworkModel(residual_net, seed=0)
+    state = state_dict(model)
+    name = next(iter(state))
+    state[name] = np.zeros((1, 1))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        load_state_dict(model, state)
+
+
+def test_cross_architecture_rejected(tmp_path):
+    res = NetworkModel(toy_residual(), seed=0)
+    inc = NetworkModel(toy_inception(), seed=0)
+    path = str(tmp_path / "ckpt.npz")
+    save_weights(res, path)
+    with pytest.raises(ValueError):
+        load_weights(inc, path)

@@ -1,0 +1,70 @@
+"""Top-level package surface and CLI coverage."""
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_api_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_top_level_workflow():
+    """The README's four-liner works through the top-level namespace."""
+    from repro.zoo import toy_chain
+
+    net = toy_chain()
+    sched = repro.make_schedule(net, "mbs2", buffer_bytes=repro.MIB)
+    traffic = repro.compute_traffic(net, sched)
+    report = repro.simulate_step(net, sched)
+    assert traffic.total_bytes > 0
+    assert report.time_s > 0
+
+
+class TestScheduleCli:
+    def test_schedule_command(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["schedule", "toy_residual", "mbs2", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mbs2 schedule for toy_residual" in out
+        assert "DRAM traffic/step" in out
+
+    def test_schedule_usage(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["schedule"]) == 2
+
+    def test_export_command(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import fig04_grouping
+        from repro.experiments.runner import main
+
+        monkeypatch.setattr(
+            "repro.experiments.ALL_EXPERIMENTS", {"fig4": fig04_grouping}
+        )
+        path = str(tmp_path / "out.json")
+        assert main(["export", path]) == 0
+        assert "wrote 1 experiment results" in capsys.readouterr().out
+
+
+class TestReportHelpers:
+    def test_layer_timing_bound(self):
+        from repro.wavecore.report import LayerTiming
+
+        compute_bound = LayerTiming("b", "l", "conv", "forward", 10, 10,
+                                    10, 1.0, 0.5)
+        assert compute_bound.bound == "compute"
+        assert compute_bound.time_s == 1.0
+        memory_bound = LayerTiming("b", "l", "norm", "forward", 0, 0,
+                                   10, 0.1, 0.5)
+        assert memory_bound.bound == "memory"
+
+    def test_energy_share_zero_total(self):
+        from repro.wavecore.report import EnergyBreakdown
+
+        e = EnergyBreakdown(0.0, 0.0, 0.0, 0.0)
+        assert e.share("dram") == 0.0

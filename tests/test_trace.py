@@ -1,0 +1,82 @@
+"""Trace hooks and the analytic-vs-executed traffic cross-check."""
+import numpy as np
+import pytest
+
+from repro.graph.layers import NormKind
+from repro.nn.executor import compute_gradients
+from repro.nn.model import NetworkModel
+from repro.trace import crosscheck_baseline, trace_training_step
+from repro.types import Shape
+from repro.zoo import toy_chain, toy_residual
+
+
+def make(norm=NormKind.GROUP, widths=(8, 12)):
+    return toy_chain(in_shape=Shape(3, 16, 16), widths=widths,
+                     num_classes=5, norm=norm, mini_batch=6)
+
+
+class TestHooks:
+    def test_events_cover_both_phases(self, rng):
+        net = make()
+        model = NetworkModel(net, seed=0)
+        x = rng.normal(size=(6, 3, 16, 16))
+        y = rng.integers(0, 5, 6)
+        events = trace_training_step(model, x, y)
+        phases = {e.phase for e in events}
+        assert phases == {"forward", "backward"}
+        n_layers = len(net.all_layers())
+        assert len(events) == 2 * n_layers
+
+    def test_tracing_does_not_perturb_numerics(self, rng):
+        net = make()
+        x = rng.normal(size=(6, 3, 16, 16))
+        y = rng.integers(0, 5, 6)
+        plain = NetworkModel(net, seed=0)
+        plain.zero_grads()
+        compute_gradients(plain, x, y)
+        traced = NetworkModel(net, seed=0)
+        traced.zero_grads()
+        trace_training_step(traced, x, y)
+        np.testing.assert_array_equal(
+            plain.gradient_vector(), traced.gradient_vector()
+        )
+
+    def test_wrappers_restored_after_trace(self, rng):
+        net = make()
+        model = NetworkModel(net, seed=0)
+        x = rng.normal(size=(2, 3, 16, 16))
+        y = rng.integers(0, 5, 2)
+        trace_training_step(model, x, y)
+        for module in model.modules():
+            assert not module.forward.__name__.startswith("traced")
+
+    def test_event_volumes_match_shapes(self, rng):
+        net = make()
+        model = NetworkModel(net, seed=0)
+        x = rng.normal(size=(6, 3, 16, 16))
+        y = rng.integers(0, 5, 6)
+        events = trace_training_step(model, x, y)
+        first_fwd = next(e for e in events if e.phase == "forward")
+        assert first_fwd.in_elems == 6 * 3 * 16 * 16
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("norm", [NormKind.GROUP, None])
+    @pytest.mark.parametrize("widths", [(8,), (8, 12), (4, 8, 8)])
+    def test_exact_agreement_on_chains(self, norm, widths, rng):
+        net = make(norm=norm, widths=widths)
+        model = NetworkModel(net, seed=0)
+        x = rng.normal(size=(6, 3, 16, 16))
+        y = rng.integers(0, 5, 6)
+        events = trace_training_step(model, x, y)
+        analytic, traced = crosscheck_baseline(net, events, mini_batch=6)
+        assert analytic == traced
+
+    def test_module_networks_rejected(self, rng):
+        net = toy_residual()
+        model = NetworkModel(net, seed=0)
+        x = rng.normal(size=(4, 3, 32, 32))
+        y = rng.integers(0, 8, 4)
+        events = trace_training_step(model, x, y)
+        with pytest.raises(ValueError, match="chain network"):
+            crosscheck_baseline(net, events, mini_batch=4)

@@ -1,0 +1,61 @@
+"""Unit tests for shared value types."""
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import ACCUM_BYTES, GIB, KIB, MIB, Shape, WORD_BYTES, ceil_div
+
+
+class TestShape:
+    def test_elems(self):
+        assert Shape(3, 224, 224).elems == 3 * 224 * 224
+
+    def test_bytes_default_word(self):
+        assert Shape(2, 4, 4).bytes() == 32 * WORD_BYTES
+
+    def test_bytes_custom_word(self):
+        assert Shape(2, 4, 4).bytes(word_bytes=4) == 128
+
+    def test_fc_shape_convention(self):
+        assert Shape(1000, 1, 1).elems == 1000
+
+    @pytest.mark.parametrize("c,h,w", [(0, 1, 1), (1, 0, 1), (1, 1, 0),
+                                       (-1, 2, 2)])
+    def test_invalid_dims_raise(self, c, h, w):
+        with pytest.raises(ValueError):
+            Shape(c, h, w)
+
+    def test_equality_and_hash(self):
+        assert Shape(1, 2, 3) == Shape(1, 2, 3)
+        assert hash(Shape(1, 2, 3)) == hash(Shape(1, 2, 3))
+        assert Shape(1, 2, 3) != Shape(3, 2, 1)
+
+    def test_str(self):
+        assert str(Shape(64, 56, 56)) == "64x56x56"
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize("a,b,expect", [
+        (0, 1, 0), (1, 1, 1), (5, 2, 3), (6, 2, 3), (7, 2, 4), (32, 3, 11),
+    ])
+    def test_known_values(self, a, b, expect):
+        assert ceil_div(a, b) == expect
+
+    def test_non_positive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+        with pytest.raises(ValueError):
+            ceil_div(4, -1)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a <= q * b or (a == 0 and q == 0)
+
+
+def test_byte_constants():
+    assert KIB == 1024
+    assert MIB == 1024 ** 2
+    assert GIB == 1024 ** 3
+    assert WORD_BYTES == 2
+    assert ACCUM_BYTES == 4

@@ -1,0 +1,78 @@
+"""Unit tests for accelerator and memory configuration (Tab. 2 / Tab. 4)."""
+import pytest
+
+from repro.types import GIB, MIB
+from repro.wavecore.config import (
+    BASELINE_CONFIG,
+    DEFAULT_CONFIG,
+    GDDR5,
+    HBM2,
+    HBM2_X2,
+    LPDDR4,
+    MEMORY_CONFIGS,
+    WaveCoreConfig,
+    config_for_policy,
+)
+
+
+class TestMemoryPresets:
+    def test_tab4_bandwidths(self):
+        assert HBM2.bandwidth_bytes_per_s == 300 * GIB
+        assert HBM2_X2.bandwidth_bytes_per_s == 600 * GIB
+        assert GDDR5.bandwidth_bytes_per_s == 384 * GIB
+        assert LPDDR4.bandwidth_bytes_per_s == pytest.approx(239.2 * GIB)
+
+    def test_tab4_relative_bandwidth(self):
+        # paper: GDDR5 is 64% and LPDDR4 40% of HBM2x2
+        assert GDDR5.bandwidth_bytes_per_s / HBM2_X2.bandwidth_bytes_per_s \
+            == pytest.approx(0.64)
+        assert LPDDR4.bandwidth_bytes_per_s / HBM2_X2.bandwidth_bytes_per_s \
+            == pytest.approx(0.399, abs=0.01)
+
+    def test_registry(self):
+        assert set(MEMORY_CONFIGS) == {"HBM2", "HBM2x2", "GDDR5", "LPDDR4"}
+
+
+class TestWaveCoreConfig:
+    def test_tile_rows_from_accum_buffer(self):
+        # 128 KiB accumulation part / (128 cols * 4 B) = 256 rows
+        assert DEFAULT_CONFIG.tile_rows == 256
+
+    def test_pe_count(self):
+        assert DEFAULT_CONFIG.pe_count == 128 * 128
+
+    def test_peak_macs(self):
+        assert DEFAULT_CONFIG.peak_macs_per_s == pytest.approx(
+            128 * 128 * 0.7e9
+        )
+
+    def test_core_bandwidth_is_half_chip(self):
+        assert DEFAULT_CONFIG.core_bandwidth == HBM2.bandwidth_bytes_per_s / 2
+
+    def test_with_memory_by_name(self):
+        cfg = DEFAULT_CONFIG.with_memory("LPDDR4")
+        assert cfg.memory is LPDDR4
+        assert DEFAULT_CONFIG.memory is HBM2  # frozen original untouched
+
+    def test_with_buffer(self):
+        cfg = DEFAULT_CONFIG.with_buffer(5 * MIB)
+        assert cfg.global_buffer_bytes == 5 * MIB
+
+    def test_with_double_buffer(self):
+        assert not DEFAULT_CONFIG.with_double_buffer(False).weight_double_buffer
+
+
+class TestConfigForPolicy:
+    def test_baseline_lacks_double_buffering(self):
+        assert not config_for_policy("baseline").weight_double_buffer
+        assert not BASELINE_CONFIG.weight_double_buffer
+
+    @pytest.mark.parametrize("policy", ["archopt", "il", "mbs-fs", "mbs1",
+                                        "mbs2"])
+    def test_others_have_double_buffering(self, policy):
+        assert config_for_policy(policy).weight_double_buffer
+
+    def test_memory_and_buffer_overrides(self):
+        cfg = config_for_policy("mbs2", memory="GDDR5", buffer_bytes=5 * MIB)
+        assert cfg.memory is GDDR5
+        assert cfg.global_buffer_bytes == 5 * MIB

@@ -1,0 +1,79 @@
+"""Unit tests for the energy model and Tab. 2 area/power estimates."""
+import pytest
+
+from repro.wavecore.area import estimate_area, estimate_power
+from repro.wavecore.config import DEFAULT_CONFIG, WaveCoreConfig
+from repro.wavecore.energy import DEFAULT_ENERGY, EnergyParams, step_energy
+from repro.types import MIB
+
+
+class TestStepEnergy:
+    def test_components_linear(self):
+        e1 = step_energy(DEFAULT_CONFIG, 0.01, 10**9, 10**9, 10**12)
+        e2 = step_energy(DEFAULT_CONFIG, 0.02, 2 * 10**9, 2 * 10**9,
+                         2 * 10**12)
+        assert e2.dram_j == pytest.approx(2 * e1.dram_j)
+        assert e2.gbuf_j == pytest.approx(2 * e1.gbuf_j)
+        assert e2.compute_j == pytest.approx(2 * e1.compute_j)
+        assert e2.static_j == pytest.approx(2 * e1.static_j)
+
+    def test_total_and_share(self):
+        e = step_energy(DEFAULT_CONFIG, 0.01, 10**9, 10**9, 10**12)
+        assert e.total_j == pytest.approx(
+            e.dram_j + e.gbuf_j + e.compute_j + e.static_j
+        )
+        assert sum(e.share(c) for c in ("dram", "gbuf", "compute",
+                                        "static")) == pytest.approx(1.0)
+
+    def test_zero_skip_saves_compute(self):
+        on = step_energy(DEFAULT_CONFIG, 0.01, 0, 0, 10**12)
+        off = step_energy(DEFAULT_CONFIG.__class__(
+            **{**DEFAULT_CONFIG.__dict__, "zero_skip": False}
+        ), 0.01, 0, 0, 10**12)
+        assert on.compute_j < off.compute_j
+
+    def test_memory_type_changes_dram_energy(self):
+        hbm = step_energy(DEFAULT_CONFIG, 0.01, 10**9, 0, 0)
+        gddr = step_energy(DEFAULT_CONFIG.with_memory("GDDR5"),
+                           0.01, 10**9, 0, 0)
+        assert gddr.dram_j > hbm.dram_j
+
+    def test_gbuf_eight_times_cheaper_than_hbm2(self):
+        p = EnergyParams()
+        hbm_per_byte = DEFAULT_CONFIG.memory.energy_pj_per_bit * 8
+        assert hbm_per_byte / p.gbuf_pj_per_byte == pytest.approx(8.0)
+
+
+class TestArea:
+    def test_paper_total(self):
+        assert estimate_area(DEFAULT_CONFIG).total_mm2 == pytest.approx(
+            534.0, abs=1.0
+        )
+
+    def test_pe_array_dominates(self):
+        a = estimate_area(DEFAULT_CONFIG)
+        assert a.pe_array_mm2 / a.total_mm2 > 0.6  # paper: 67% per core
+
+    def test_scales_with_buffer(self):
+        small = estimate_area(DEFAULT_CONFIG.with_buffer(5 * MIB))
+        large = estimate_area(DEFAULT_CONFIG.with_buffer(40 * MIB))
+        assert large.total_mm2 > small.total_mm2
+        assert large.pe_array_mm2 == small.pe_array_mm2
+
+    def test_paper_component_values(self):
+        a = estimate_area(DEFAULT_CONFIG)
+        assert a.pe_array_mm2 == pytest.approx(2 * 199.45, rel=0.01)
+        assert a.global_buffer_mm2 == pytest.approx(2 * 18.65, rel=0.01)
+        assert a.vector_mm2 == pytest.approx(2 * 4.33, rel=0.01)
+
+
+class TestPower:
+    def test_peak_power_near_paper(self):
+        # paper Tab. 2: 56 W; our calibration trades this against the
+        # Sec. 6 energy shares (see DESIGN.md) — assert the band
+        p = estimate_power(DEFAULT_CONFIG)
+        assert 40.0 < p < 80.0
+
+    def test_power_scales_with_clock(self):
+        fast = WaveCoreConfig(clock_hz=1.4e9)
+        assert estimate_power(fast) > estimate_power(DEFAULT_CONFIG)

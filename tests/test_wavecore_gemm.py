@@ -1,0 +1,71 @@
+"""Unit tests for Tab. 1 im2col GEMM dimensions."""
+import pytest
+
+from repro.graph.layers import Conv2D, FullyConnected
+from repro.types import Shape
+from repro.wavecore.gemm import GemmDims, GemmPhase, conv_gemm, fc_gemm
+
+CONV = Conv2D(name="c", in_shape=Shape(64, 56, 56), out_channels=128,
+              kernel=3, stride=2, padding=1)  # output 128x28x28
+FC = FullyConnected(name="f", in_shape=Shape(2048, 1, 1), out_features=1000)
+
+
+class TestGemmDims:
+    def test_macs(self):
+        assert GemmDims(10, 20, 30).macs == 6000
+
+    @pytest.mark.parametrize("gh,gw,k", [(0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_invalid(self, gh, gw, k):
+        with pytest.raises(ValueError):
+            GemmDims(gh, gw, k)
+
+
+class TestConvGemm:
+    def test_forward(self):
+        d = conv_gemm(CONV, 4, GemmPhase.FORWARD)
+        assert d == GemmDims(gh=4 * 28 * 28, gw=128, k=64 * 9)
+
+    def test_data_grad(self):
+        d = conv_gemm(CONV, 4, GemmPhase.DATA_GRAD)
+        assert d == GemmDims(gh=4 * 56 * 56, gw=64, k=128 * 9)
+
+    def test_weight_grad(self):
+        d = conv_gemm(CONV, 4, GemmPhase.WEIGHT_GRAD)
+        assert d == GemmDims(gh=64 * 9, gw=128, k=4 * 28 * 28)
+
+    def test_forward_macs_match_layer(self):
+        d = conv_gemm(CONV, 7, GemmPhase.FORWARD)
+        assert d.macs == 7 * CONV.macs_per_sample
+
+    def test_all_phases_same_macs(self):
+        macs = {
+            p: conv_gemm(CONV, 3, p).macs
+            for p in (GemmPhase.FORWARD, GemmPhase.WEIGHT_GRAD)
+        }
+        assert macs[GemmPhase.FORWARD] == macs[GemmPhase.WEIGHT_GRAD]
+
+    def test_asymmetric_kernel(self):
+        conv = Conv2D(name="c7", in_shape=Shape(768, 17, 17),
+                      out_channels=128, kernel=(1, 7), padding=(0, 3))
+        d = conv_gemm(conv, 2, GemmPhase.FORWARD)
+        assert d.k == 768 * 7
+
+    def test_invalid_sub_batch(self):
+        with pytest.raises(ValueError):
+            conv_gemm(CONV, 0, GemmPhase.FORWARD)
+
+
+class TestFcGemm:
+    def test_forward(self):
+        assert fc_gemm(FC, 32, GemmPhase.FORWARD) == GemmDims(32, 1000, 2048)
+
+    def test_data_grad(self):
+        assert fc_gemm(FC, 32, GemmPhase.DATA_GRAD) == GemmDims(32, 2048, 1000)
+
+    def test_weight_grad(self):
+        assert fc_gemm(FC, 32, GemmPhase.WEIGHT_GRAD) == GemmDims(2048, 1000, 32)
+
+    def test_spatial_input_flattened(self):
+        fc = FullyConnected(name="f", in_shape=Shape(256, 6, 6),
+                            out_features=4096)
+        assert fc_gemm(fc, 8, GemmPhase.FORWARD).k == 256 * 36

@@ -1,0 +1,52 @@
+"""Unit tests for the V100 reference device model."""
+import pytest
+
+from repro.wavecore.gpu import V100, GpuConfig, _gemm_efficiency, simulate_gpu_step
+from repro.zoo import toy_chain
+
+
+class TestEfficiency:
+    def test_bounded_by_max(self):
+        for gh, gw, k in [(10**6, 512, 1152), (64, 64, 64), (1, 1, 1)]:
+            eff = _gemm_efficiency(gh, gw, k, V100)
+            assert 0.0 < eff <= V100.max_efficiency
+
+    def test_occupancy_grows_with_parallelism(self):
+        small = _gemm_efficiency(128, 64, 64, V100)
+        large = _gemm_efficiency(128 * 200, 64, 64, V100)
+        assert large > small
+
+    def test_split_k_rescues_weight_grad_shapes(self):
+        # tiny output, huge K: split-K keeps the device busy
+        wgrad = _gemm_efficiency(147, 64, 800_000, V100)
+        no_split = _gemm_efficiency(147, 64, 200, V100)
+        assert wgrad > no_split
+
+    def test_ramp_penalizes_short_k(self):
+        short = _gemm_efficiency(10**6, 512, 16, V100)
+        deep = _gemm_efficiency(10**6, 512, 4096, V100)
+        assert short < deep
+
+
+class TestStep:
+    def test_positive_and_scales_with_batch(self):
+        net = toy_chain()
+        t32 = simulate_gpu_step(net, mini_batch=32)
+        t64 = simulate_gpu_step(net, mini_batch=64)
+        assert 0 < t32 < t64
+
+    def test_default_batch_doubles_per_core_batch(self):
+        net = toy_chain(mini_batch=16)
+        assert simulate_gpu_step(net) == pytest.approx(
+            simulate_gpu_step(net, mini_batch=32)
+        )
+
+    def test_depth_scaling(self, rn50, rn152):
+        assert simulate_gpu_step(rn152) > simulate_gpu_step(rn50)
+
+    def test_launch_overhead_counts(self):
+        net = toy_chain()
+        fast = GpuConfig(name="x", peak_macs_per_s=V100.peak_macs_per_s,
+                         bandwidth_bytes_per_s=V100.bandwidth_bytes_per_s,
+                         launch_overhead_s=0.0)
+        assert simulate_gpu_step(net, cfg=fast) < simulate_gpu_step(net)

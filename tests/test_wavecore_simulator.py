@@ -1,0 +1,116 @@
+"""Unit and integration tests for the end-to-end step simulator."""
+import pytest
+
+from repro.core.policies import make_schedule
+from repro.wavecore.config import config_for_policy
+from repro.wavecore.simulator import simulate_step
+
+
+@pytest.fixture(scope="module")
+def rn50_reports(request):
+    rn50 = request.getfixturevalue("rn50")
+    out = {}
+    for policy in ("baseline", "archopt", "il", "mbs-fs", "mbs1", "mbs2"):
+        sched_policy = "baseline" if policy == "archopt" else policy
+        sched = make_schedule(rn50, sched_policy)
+        out[policy] = simulate_step(rn50, sched, config_for_policy(policy))
+    return out
+
+
+# make session fixtures reachable from a module fixture
+@pytest.fixture(scope="module")
+def rn50(request):
+    from repro.zoo import resnet50
+    return resnet50()
+
+
+class TestReportConsistency:
+    def test_time_is_sum_of_layer_times(self, rn50, rn50_reports):
+        rep = rn50_reports["mbs2"]
+        assert rep.time_s == pytest.approx(
+            sum(lt.time_s for lt in rep.layers)
+        )
+
+    def test_dram_matches_traffic_model(self, rn50, rn50_reports):
+        from repro.core.traffic import compute_traffic
+
+        sched = make_schedule(rn50, "mbs2")
+        rep = rn50_reports["mbs2"]
+        assert rep.dram_bytes == compute_traffic(rn50, sched).total_bytes
+        assert rep.chip_dram_bytes == 2 * rep.dram_bytes
+
+    def test_layer_dram_sums_to_total(self, rn50_reports):
+        rep = rn50_reports["baseline"]
+        assert sum(lt.dram_bytes for lt in rep.layers) == rep.dram_bytes
+
+    def test_utilization_in_range(self, rn50_reports):
+        for rep in rn50_reports.values():
+            assert 0.0 < rep.utilization <= 1.0
+
+    def test_energy_attached(self, rn50_reports):
+        rep = rn50_reports["mbs2"]
+        assert rep.energy is not None and rep.energy.total_j > 0
+
+    def test_time_by_kind_covers_total(self, rn50_reports):
+        rep = rn50_reports["mbs2"]
+        assert sum(rep.time_by_kind().values()) == pytest.approx(rep.time_s)
+        assert "conv" in rep.time_by_kind()
+
+    def test_time_by_phase(self, rn50_reports):
+        rep = rn50_reports["baseline"]
+        phases = rep.time_by_phase()
+        assert set(phases) == {"forward", "backward"}
+        assert phases["backward"] > phases["forward"]  # two GEMMs per conv
+
+
+class TestConfigEffects:
+    def test_unlimited_bandwidth_zeroes_memory_time(self, rn50):
+        sched = make_schedule(rn50, "baseline")
+        rep = simulate_step(rn50, sched, config_for_policy("baseline"),
+                            unlimited_bandwidth=True)
+        assert all(lt.dram_s == 0.0 for lt in rep.layers)
+
+    def test_double_buffering_speeds_up_same_schedule(self, rn50_reports):
+        assert rn50_reports["archopt"].time_s < rn50_reports["baseline"].time_s
+
+    def test_memory_bandwidth_matters_for_baseline(self, rn50):
+        sched = make_schedule(rn50, "baseline")
+        slow = simulate_step(rn50, sched,
+                             config_for_policy("baseline", memory="LPDDR4"))
+        fast = simulate_step(rn50, sched,
+                             config_for_policy("baseline", memory="HBM2x2"))
+        assert slow.time_s > fast.time_s
+
+
+class TestPolicyOrdering:
+    """The Fig. 10 orderings for ResNet-50."""
+
+    def test_traffic_ordering(self, rn50_reports):
+        r = rn50_reports
+        assert r["mbs2"].dram_bytes < r["mbs1"].dram_bytes \
+            < r["mbs-fs"].dram_bytes < r["il"].dram_bytes \
+            <= r["baseline"].dram_bytes
+
+    def test_time_ordering(self, rn50_reports):
+        r = rn50_reports
+        assert r["mbs2"].time_s < r["archopt"].time_s < r["baseline"].time_s
+
+    def test_energy_ordering(self, rn50_reports):
+        r = rn50_reports
+        assert r["mbs2"].energy.total_j < r["archopt"].energy.total_j \
+            <= r["baseline"].energy.total_j
+
+    def test_paper_magnitude_traffic_cut(self, rn50_reports):
+        cut = rn50_reports["baseline"].dram_bytes / \
+            rn50_reports["mbs2"].dram_bytes
+        assert 3.0 < cut < 6.0  # paper: ~4.3x for ResNet-50
+
+    def test_paper_magnitude_speedup(self, rn50_reports):
+        speed = rn50_reports["baseline"].time_s / rn50_reports["mbs2"].time_s
+        assert 1.4 < speed < 2.6  # paper: 1.81x
+
+    def test_dram_energy_share_drops(self, rn50_reports):
+        base_share = rn50_reports["baseline"].energy.share("dram")
+        mbs_share = rn50_reports["mbs2"].energy.share("dram")
+        assert 0.15 < base_share < 0.30  # paper: 21.6%
+        assert mbs_share < base_share / 2  # paper: 8.7% for MBS1

@@ -1,0 +1,65 @@
+"""Group execution timelines."""
+import pytest
+
+from repro.core.policies import make_schedule
+from repro.wavecore.config import config_for_policy
+from repro.wavecore.simulator import simulate_step
+from repro.wavecore.timeline import build_timeline, render_timeline
+
+
+@pytest.fixture(scope="module")
+def rn50():
+    from repro.zoo import resnet50
+    return resnet50()
+
+
+@pytest.fixture(scope="module")
+def timeline(rn50):
+    sched = make_schedule(rn50, "mbs2")
+    return sched, build_timeline(rn50, sched)
+
+
+def test_total_matches_simulated_step(rn50, timeline):
+    sched, segments = timeline
+    rep = simulate_step(rn50, sched, config_for_policy("mbs2"))
+    assert segments[-1].end_s == pytest.approx(rep.time_s)
+
+
+def test_segment_count(rn50, timeline):
+    sched, segments = timeline
+    assert len(segments) == 2 * len(sched.groups)
+
+
+def test_contiguous_and_ordered(timeline):
+    _, segments = timeline
+    for prev, cur in zip(segments, segments[1:]):
+        assert cur.start_s == pytest.approx(prev.end_s)
+        assert cur.duration_s >= 0
+
+
+def test_backward_reverses_group_order(timeline):
+    sched, segments = timeline
+    g = len(sched.groups)
+    fwd = [s.group_index for s in segments[:g]]
+    bwd = [s.group_index for s in segments[g:]]
+    assert fwd == list(range(g))
+    assert bwd == list(reversed(range(g)))
+
+
+def test_backward_dominates(timeline):
+    _, segments = timeline
+    fwd = sum(s.duration_s for s in segments if s.phase == "forward")
+    bwd = sum(s.duration_s for s in segments if s.phase == "backward")
+    assert bwd > fwd  # two GEMMs per conv in backward
+
+
+def test_render(timeline):
+    _, segments = timeline
+    text = render_timeline(segments)
+    assert "training step timeline" in text
+    assert text.count("\n") == len(segments)
+    assert "G1 for" in text
+
+
+def test_render_empty():
+    assert "empty" in render_timeline([])

@@ -1,0 +1,155 @@
+"""Zoo networks pinned against published architectures."""
+import pytest
+
+from repro.graph.layers import Conv2D, LayerKind, Norm, NormKind
+from repro.types import Shape
+from repro.zoo import PAPER_NETWORKS, build, resnet
+from repro.zoo.common import gn_groups
+
+
+class TestParamCounts:
+    """Exact or banded published trainable-parameter counts."""
+
+    def test_resnet50(self, rn50):
+        assert rn50.param_count == 25_557_032
+
+    def test_resnet101(self, rn101):
+        assert rn101.param_count == 44_549_160
+
+    def test_resnet152(self, rn152):
+        assert rn152.param_count == 60_192_808
+
+    def test_inception_v3(self, incv3):
+        assert abs(incv3.param_count - 23_834_568) / 23_834_568 < 0.01
+
+    def test_inception_v4(self, incv4):
+        assert 40e6 < incv4.param_count < 46e6
+
+    def test_alexnet(self, alex):
+        assert alex.param_count == 62_378_344
+
+
+class TestResNetStructure:
+    def test_block_counts(self, rn50, rn101, rn152):
+        # conv1 + pool + bottlenecks + head
+        assert len(rn50) == 2 + 16 + 1
+        assert len(rn101) == 2 + 33 + 1
+        assert len(rn152) == 2 + 50 + 1
+
+    def test_stage_output_shapes(self, rn50):
+        assert rn50.block_named("conv2_3").out_shape == Shape(256, 56, 56)
+        assert rn50.block_named("conv3_4").out_shape == Shape(512, 28, 28)
+        assert rn50.block_named("conv4_6").out_shape == Shape(1024, 14, 14)
+        assert rn50.block_named("conv5_3").out_shape == Shape(2048, 7, 7)
+
+    def test_logits_shape(self, rn50):
+        assert rn50.out_shape == Shape(1000, 1, 1)
+
+    def test_projection_only_at_stage_starts(self, rn50):
+        for block in rn50.blocks:
+            if not block.is_module:
+                continue
+            shortcut = block.branches[1]
+            first_of_stage = block.name.endswith("_1")
+            assert shortcut.is_identity != first_of_stage
+
+    def test_macs_match_published(self, rn50):
+        # ResNet-50 is commonly quoted at ~4.1 GMACs (fused multiply-add)
+        assert 3.8e9 < rn50.macs_per_sample < 4.3e9
+
+    def test_default_mini_batch(self, rn50, alex):
+        assert rn50.default_mini_batch == 32
+        assert alex.default_mini_batch == 64
+
+    def test_unsupported_depth(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            resnet(20)
+
+    def test_batchnorm_variant(self):
+        net = resnet(50, norm=NormKind.BATCH)
+        norms = [l for l in net.all_layers() if isinstance(l, Norm)]
+        assert norms and all(n.norm is NormKind.BATCH for n in norms)
+        assert net.param_count == 25_557_032  # same affine params
+
+
+class TestInceptionStructure:
+    def test_v3_module_output_channels(self, incv3):
+        assert incv3.block_named("mixed5b").out_shape == Shape(256, 35, 35)
+        assert incv3.block_named("mixed5d").out_shape == Shape(288, 35, 35)
+        assert incv3.block_named("mixed6a").out_shape == Shape(768, 17, 17)
+        assert incv3.block_named("mixed7a").out_shape == Shape(1280, 8, 8)
+        assert incv3.block_named("mixed7c").out_shape == Shape(2048, 8, 8)
+
+    def test_v3_forked_tails(self, incv3):
+        block = incv3.block_named("mixed7b")
+        forked = [b for b in block.branches if b.children]
+        assert len(forked) == 2
+        assert all(len(b.children) == 2 for b in forked)
+
+    def test_v4_module_output_channels(self, incv4):
+        assert incv4.block_named("mixed5a").out_shape == Shape(384, 35, 35)
+        assert incv4.block_named("reductionA").out_shape == Shape(1024, 17, 17)
+        assert incv4.block_named("reductionB").out_shape == Shape(1536, 8, 8)
+        assert incv4.block_named("inceptionC_3").out_shape == Shape(1536, 8, 8)
+
+    def test_v4_module_counts(self, incv4):
+        names = [b.name for b in incv4.blocks]
+        assert sum(n.startswith("inceptionA") for n in names) == 4
+        assert sum(n.startswith("inceptionB") for n in names) == 7
+        assert sum(n.startswith("inceptionC") for n in names) == 3
+
+
+class TestAlexNet:
+    def test_no_norm_layers(self, alex):
+        assert not any(l.kind is LayerKind.NORM for l in alex.all_layers())
+
+    def test_conv_biases(self, alex):
+        convs = [l for l in alex.all_layers() if isinstance(l, Conv2D)]
+        assert len(convs) == 5
+        assert all(c.bias for c in convs)
+
+    def test_feature_shapes(self, alex):
+        assert alex.block_named("conv1").out_shape == Shape(96, 55, 55)
+        assert alex.block_named("pool5").out_shape == Shape(256, 6, 6)
+
+    def test_fc_dominates_params(self, alex):
+        fc_params = sum(
+            l.param_count for l in alex.all_layers()
+            if l.kind is LayerKind.FC
+        )
+        assert fc_params / alex.param_count > 0.9
+
+
+class TestToyNetworks:
+    def test_toy_inception_fork(self, inception_net):
+        mix = inception_net.block_named("mix")
+        assert mix.is_module
+        assert any(b.children for b in mix.branches)
+
+    def test_toy_residual_has_identity_and_projection(self, residual_net):
+        shortcuts = [
+            b.branches[1] for b in residual_net.blocks if b.is_module
+        ]
+        assert any(s.is_identity for s in shortcuts)
+        assert any(not s.is_identity for s in shortcuts)
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", PAPER_NETWORKS)
+    def test_build_dispatch(self, name):
+        assert build(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            build("vgg16")
+
+
+class TestGnGroups:
+    @pytest.mark.parametrize("c,expect", [
+        (64, 32), (32, 32), (48, 24), (80, 20), (3, 3), (1, 1), (96, 32),
+        (17, 17), (35, 7),
+    ])
+    def test_divides_and_bounded(self, c, expect):
+        g = gn_groups(c)
+        assert g == expect
+        assert c % g == 0 and g <= 32

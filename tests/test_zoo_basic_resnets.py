@@ -1,0 +1,56 @@
+"""Basic-block ResNets (18/34) pinned against published counts."""
+import pytest
+
+from repro.core.policies import make_schedule
+from repro.core.traffic import compute_traffic
+from repro.types import Shape
+from repro.zoo import build, resnet18, resnet34
+
+
+@pytest.fixture(scope="module")
+def rn18():
+    return resnet18()
+
+
+@pytest.fixture(scope="module")
+def rn34():
+    return resnet34()
+
+
+def test_published_param_counts(rn18, rn34):
+    assert rn18.param_count == 11_689_512
+    assert rn34.param_count == 21_797_672
+
+
+def test_published_macs(rn18, rn34):
+    assert 1.7e9 < rn18.macs_per_sample < 1.9e9   # ~1.8 GMACs
+    assert 3.5e9 < rn34.macs_per_sample < 3.8e9   # ~3.7 GMACs
+
+
+def test_block_counts(rn18, rn34):
+    assert len(rn18) == 2 + 8 + 1
+    assert len(rn34) == 2 + 16 + 1
+
+
+def test_basic_block_structure(rn18):
+    block = rn18.block_named("conv2_1")
+    convs = [l for l in block.branches[0].layers if l.kind.value == "conv"]
+    assert len(convs) == 2  # basic blocks: two 3x3 convs
+    assert all(c.kernel == (3, 3) for c in convs)
+    assert block.branches[1].is_identity  # 64 -> 64, no projection
+
+
+def test_stage_shapes(rn18):
+    assert rn18.block_named("conv2_2").out_shape == Shape(64, 56, 56)
+    assert rn18.block_named("conv5_2").out_shape == Shape(512, 7, 7)
+
+
+def test_build_dispatch():
+    assert build("resnet18").param_count == 11_689_512
+    assert build("resnet34").param_count == 21_797_672
+
+
+def test_mbs_schedules_and_saves_traffic(rn18):
+    base = compute_traffic(rn18, make_schedule(rn18, "baseline")).total_bytes
+    mbs = compute_traffic(rn18, make_schedule(rn18, "mbs2")).total_bytes
+    assert mbs < base / 2.5  # shallower nets still cut traffic hard
