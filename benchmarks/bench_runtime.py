@@ -1,0 +1,61 @@
+"""Benchmarks for the orchestration runtime: key hashing, cache hits,
+and engine overhead around a trivial experiment (tab2)."""
+import pytest
+
+from repro.runtime import (
+    ResultCache,
+    Task,
+    code_fingerprint,
+    get_spec,
+    run_tasks,
+    task_key,
+)
+
+
+@pytest.fixture(scope="module")
+def tab2_spec():
+    import repro.experiments  # noqa: F401  (registers the specs)
+
+    return get_spec("tab2")
+
+
+def test_bench_code_fingerprint_cold(benchmark):
+    def cold():
+        code_fingerprint.cache_clear()
+        return code_fingerprint()
+
+    assert len(benchmark(cold)) == 16
+
+
+def test_bench_task_key(benchmark, tab2_spec):
+    params = tab2_spec.resolve_params()
+    key = benchmark(task_key, tab2_spec, params, "f" * 16)
+    assert len(key) == 24
+
+
+def test_bench_cache_lookup_hit(benchmark, tab2_spec, tmp_path):
+    cache = ResultCache(tmp_path)
+    (r,) = run_tasks([Task(tab2_spec)], cache=cache)
+    assert r.status == "ran"
+    manifest = benchmark(cache.lookup, "tab2", r.key)
+    assert manifest is not None
+
+
+def test_bench_engine_cached_path(benchmark, tab2_spec, tmp_path):
+    """Full run_tasks round-trip when every task hits the cache."""
+    cache = ResultCache(tmp_path)
+    tasks = [Task(tab2_spec)]
+    run_tasks(tasks, cache=cache)
+    results = benchmark(run_tasks, tasks, cache=cache)
+    assert results[0].status == "cached"
+
+
+def test_bench_pool_spinup_two_workers(once, tab2_spec, tmp_path):
+    """Worker-pool overhead for two cheap tasks (single round)."""
+    fig3 = get_spec("fig3")
+    tasks = [Task(tab2_spec), Task(fig3)]
+    results = once(
+        run_tasks, tasks, jobs=2, cache=ResultCache(tmp_path),
+        use_cache=False,
+    )
+    assert all(r.status == "ran" for r in results)

@@ -3,7 +3,13 @@
 Each paper table/figure has one benchmark that regenerates it end to end
 (timed with a single round — these are full experiment sweeps), plus
 micro-benchmarks for the hot kernels (traffic model, cycle model,
-grouping optimizer, conv kernels) that run with normal statistics.
+grouping optimizer, conv kernels) and the orchestration runtime
+(bench_runtime.py: cache hits, key hashing, pool spin-up) that run with
+normal statistics.
+
+CI runs bench_micro_kernels.py on every push and uploads the
+``--benchmark-json`` output as a workflow artifact (see
+``.github/workflows/ci.yml``, job ``bench-smoke``).
 """
 import pytest
 

@@ -11,7 +11,7 @@ Run:  python examples/accelerator_design_space.py
 from repro.core import make_schedule
 from repro.types import MIB
 from repro.wavecore import estimate_area, simulate_step
-from repro.wavecore.config import MEMORY_CONFIGS, config_for_policy
+from repro.wavecore.config import config_for_policy
 from repro.zoo import build
 
 #: rough relative cost of the memory subsystem (per-GiB pricing folklore:

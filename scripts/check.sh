@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Local equivalent of the CI gate: lint + tests + parallel-runtime smoke.
+# Usage: scripts/check.sh [--fast]   (--fast skips the smoke run)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== lint =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks examples
+else
+    echo "ruff not installed; skipping lint (CI will run it)"
+fi
+
+echo "== tests =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+
+if [[ $fast -eq 0 ]]; then
+    echo "== smoke: mbs-repro all --jobs 2 (fresh cache) =="
+    smoke_dir=$(mktemp -d)
+    trap 'rm -rf "$smoke_dir"' EXIT
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m repro.experiments.runner all --jobs 2 --summary \
+        --cache-dir "$smoke_dir/cache" --out "$smoke_dir/manifests"
+fi
+
+echo "== all checks passed =="

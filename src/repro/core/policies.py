@@ -23,7 +23,7 @@ from repro.core.grouping import (
 from repro.core.schedule import GroupPlan, Schedule, make_group
 from repro.core.subbatch import feasible_sub_batch
 from repro.graph.network import Network
-from repro.types import MIB, WORD_BYTES, ceil_div
+from repro.types import MIB, WORD_BYTES
 
 POLICIES = ("baseline", "archopt", "il", "mbs-fs", "mbs1", "mbs2",
             "mbs1-opt", "mbs2-opt")

@@ -1,9 +1,8 @@
 """Schedule representation: groups of blocks sharing a sub-batch size."""
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.graph.network import Network
 from repro.types import ceil_div
 
 

@@ -26,7 +26,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.core.schedule import Schedule
-from repro.graph.blocks import Block, Branch, MergeKind
+from repro.graph.blocks import Block, MergeKind
 from repro.graph.layers import Layer, LayerKind
 from repro.graph.network import Network
 from repro.types import POOL_INDEX_BYTES, RELU_MASK_BITS, WORD_BYTES

@@ -11,6 +11,8 @@ from repro.core.policies import DEFAULT_BUFFER_BYTES, make_schedule
 from repro.core.traffic import compute_traffic
 from repro.experiments.common import network
 from repro.experiments.tables import fmt, format_table, gib
+from repro.runtime import ExperimentSpec, register
+from repro.types import MIB
 from repro.zoo import PAPER_NETWORKS
 
 
@@ -36,8 +38,7 @@ def run(networks: tuple[str, ...] = PAPER_NETWORKS,
     return {"rows": rows}
 
 
-def main(argv: list[str] | None = None) -> None:
-    res = run()
+def render(res: dict) -> None:
     table = []
     for name, out in res["rows"].items():
         table.append([
@@ -53,6 +54,20 @@ def main(argv: list[str] | None = None) -> None:
         table,
         title="Grouping ablation — greedy vs exhaustive DP (paper: ~1% gap)",
     ))
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="ablation",
+    title="Footnote-1 ablation — greedy vs exhaustive layer grouping",
+    produce=run,
+    render=render,
+    sweep={"buffer_bytes": (5 * MIB, 10 * MIB, 20 * MIB)},
+    artifact=("rows",),
+))
 
 
 if __name__ == "__main__":

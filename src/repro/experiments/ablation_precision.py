@@ -11,6 +11,8 @@ from repro.core.policies import DEFAULT_BUFFER_BYTES, make_schedule
 from repro.core.traffic import TrafficOptions, compute_traffic
 from repro.experiments.common import network
 from repro.experiments.tables import fmt, format_table, gib
+from repro.runtime import ExperimentSpec, register
+from repro.types import MIB
 
 
 def run(networks: tuple[str, ...] = ("resnet50", "inception_v3"),
@@ -41,8 +43,7 @@ def run(networks: tuple[str, ...] = ("resnet50", "inception_v3"),
     return {"rows": rows}
 
 
-def main(argv: list[str] | None = None) -> None:
-    res = run()
+def render(res: dict) -> None:
     table = []
     for name, per_word in res["rows"].items():
         for wb, cell in per_word.items():
@@ -57,6 +58,20 @@ def main(argv: list[str] | None = None) -> None:
         table,
         title="Precision ablation — fp16 vs fp32 storage (10 MiB buffer)",
     ))
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="precision",
+    title="Precision ablation — fp16 vs fp32 storage word size",
+    produce=run,
+    render=render,
+    sweep={"buffer_bytes": (5 * MIB, 10 * MIB, 20 * MIB)},
+    artifact=("rows",),
+))
 
 
 if __name__ == "__main__":

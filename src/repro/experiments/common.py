@@ -1,4 +1,9 @@
-"""Shared helpers for the experiment drivers."""
+"""Shared helpers for the experiment drivers.
+
+The :func:`network` memo is per-process: each runtime pool worker
+builds its own copy on first use, so produce-fns stay pure functions of
+their parameters and results are identical under any ``--jobs`` count.
+"""
 from __future__ import annotations
 
 from functools import lru_cache
@@ -13,6 +18,11 @@ from repro.zoo import build
 @lru_cache(maxsize=None)
 def network(name: str):
     return build(name)
+
+
+def clear_caches() -> None:
+    """Drop memoized networks (cold-path benchmarks, worker hygiene)."""
+    network.cache_clear()
 
 
 def evaluate(

@@ -1,59 +1,46 @@
 """JSON export of all experiment artifacts.
 
-``mbs-repro export results.json`` serializes every driver's ``run()``
-output so EXPERIMENTS.md numbers can be regenerated and diffed.
+``mbs-repro export results.json`` serializes every registered spec's
+``run()`` output so EXPERIMENTS.md numbers can be regenerated and
+diffed.  Export rides on the :mod:`repro.runtime` engine: results come
+from the content-addressed cache when available and the misses can be
+fanned out across workers with ``jobs``.
 """
 from __future__ import annotations
 
-import dataclasses
-import enum
 import json
 from typing import Any
 
+from repro.runtime.serialize import jsonify
 
-def _jsonify(obj: Any) -> Any:
-    """Recursively convert experiment results to JSON-compatible data."""
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            f.name: _jsonify(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
-    if isinstance(obj, enum.Enum):
-        return obj.value
-    if isinstance(obj, dict):
-        return {_key(k): _jsonify(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_jsonify(v) for v in obj]
-    if isinstance(obj, (str, int, float, bool)) or obj is None:
-        return obj
-    if hasattr(obj, "tolist"):  # numpy scalars/arrays
-        return _jsonify(obj.tolist())
-    # schedules, reports, models: describe by repr
-    return repr(obj)
+#: backwards-compatible alias — the canonical converter moved into the
+#: runtime so cache manifests and exports share one encoding.
+_jsonify = jsonify
 
 
-def _key(k: Any) -> str:
-    if isinstance(k, tuple):
-        return "/".join(str(_jsonify(x)) for x in k)
-    if isinstance(k, enum.Enum):
-        return str(k.value)
-    return str(k)
-
-
-def export_all(path: str, quick: bool = True) -> dict:
-    """Run every experiment and dump the results to ``path``."""
+def export_all(
+    path: str,
+    quick: bool = True,
+    jobs: int = 1,
+    cache=None,
+    use_cache: bool = True,
+) -> dict:
+    """Run every experiment (cache-aware) and dump the results to ``path``."""
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.runtime import Task, get_spec, run_tasks
 
-    results: dict[str, Any] = {}
-    for name, module in ALL_EXPERIMENTS.items():
-        if name == "fig6":
-            kwargs = (
-                {"epochs": 3, "train_samples": 256, "val_samples": 128}
-                if quick else {}
-            )
-            results[name] = _jsonify(module.run(**kwargs))
-        else:
-            results[name] = _jsonify(module.run())
+    tasks = [
+        Task(get_spec(name), {}, quick=quick) for name in ALL_EXPERIMENTS
+    ]
+    task_results = run_tasks(
+        tasks, jobs=jobs, cache=cache, use_cache=use_cache
+    )
+    failed = [r.spec_name for r in task_results if not r.ok]
+    if failed:
+        raise RuntimeError(f"experiment(s) failed: {' '.join(failed)}")
+    results: dict[str, Any] = {
+        r.spec_name: r.artifact for r in task_results
+    }
     with open(path, "w") as fh:
         json.dump(results, fh, indent=1, default=repr)
     return results

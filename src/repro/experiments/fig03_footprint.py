@@ -8,6 +8,7 @@ from __future__ import annotations
 from repro.experiments.common import network
 from repro.experiments.tables import format_table, mib
 from repro.graph.stats import layer_stats, reusable_fraction
+from repro.runtime import ExperimentSpec, register
 from repro.types import MIB
 
 
@@ -29,8 +30,7 @@ def run(net_name: str = "resnet50", mini_batch: int = 32,
     }
 
 
-def main(argv: list[str] | None = None) -> None:
-    res = run()
+def render(res: dict) -> None:
     rows = [
         [i, s.name, s.kind, mib(s.inter_layer_bytes), mib(s.param_bytes)]
         for i, s in enumerate(res["layers"])
@@ -49,6 +49,24 @@ def main(argv: list[str] | None = None) -> None:
         f"\nreusable inter-layer data with {res['buffer_mib']} MiB buffer: "
         f"{res['reusable_fraction'] * 100:.1f}%  (paper: 9.3%)"
     )
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="fig3",
+    title="Fig. 3 — per-layer footprint and reusable fraction",
+    produce=run,
+    render=render,
+    sweep={
+        "net_name": ("resnet50", "resnet101", "inception_v3"),
+        "mini_batch": (16, 32, 64),
+        "buffer_mib": (5, 10, 20, 40),
+    },
+    artifact=("network", "mini_batch", "layers", "reusable_fraction"),
+))
 
 
 if __name__ == "__main__":

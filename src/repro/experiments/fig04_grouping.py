@@ -11,6 +11,7 @@ from repro.core.subbatch import (
 )
 from repro.experiments.common import network
 from repro.experiments.tables import format_table, mib
+from repro.runtime import ExperimentSpec, register
 
 
 def run(
@@ -52,8 +53,7 @@ def run(
     }
 
 
-def main(argv: list[str] | None = None) -> None:
-    res = run()
+def render(res: dict) -> None:
     group_of = {}
     for gi, g in enumerate(res["groups"], 1):
         for b in g["blocks"]:
@@ -85,6 +85,23 @@ def main(argv: list[str] | None = None) -> None:
         print(
             f"  group{gi}: {g['iterations']} iterations, sizes = {seq}"
         )
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="fig4",
+    title="Fig. 4/5 — per-block footprint, min iterations, MBS grouping",
+    produce=run,
+    render=render,
+    sweep={
+        "policy": ("mbs1", "mbs2"),
+        "mini_batch": (16, 32, 64),
+    },
+    artifact=("network", "mini_batch", "blocks", "groups"),
+))
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ import numpy as np
 from repro.graph.layers import NormKind
 from repro.nn import NetworkModel, synthetic_dataset, train
 from repro.nn.executor import compute_gradients, mbs_gradients
+from repro.runtime import ExperimentSpec, register
 from repro.zoo import toy_chain
 
 
@@ -63,11 +64,9 @@ def run(
     return {"curves": results, "gradient_equivalence": diffs}
 
 
-def main(argv: list[str] | None = None) -> None:
+def render(res: dict) -> None:
     from repro.experiments.plots import line_plot
 
-    quick = argv is not None and "--quick" in argv
-    res = run(epochs=3, train_samples=256, val_samples=128) if quick else run()
     print("Fig. 6 — validation error by epoch (synthetic ImageNet stand-in)")
     for label, r in res["curves"].items():
         errs = " ".join(f"{e * 100:5.1f}" for e in r.val_error)
@@ -88,6 +87,22 @@ def main(argv: list[str] | None = None) -> None:
         f"\nMBS gradient equivalence (max |Δgrad| vs full batch): "
         f"GN={d['GN']:.2e} (exact)  BN={d['BN']:.2e} (broken — why MBS adapts GN)"
     )
+
+
+def main(argv: list[str] | None = None) -> None:
+    quick = argv is not None and "--quick" in argv
+    render(run(**SPEC.quick) if quick else run())
+
+
+SPEC = register(ExperimentSpec(
+    name="fig6",
+    title="Fig. 6 — GN+MBS vs BN training effectiveness",
+    produce=run,
+    render=render,
+    quick={"epochs": 3, "train_samples": 256, "val_samples": 128},
+    sweep={"sub_batch": (2, 4, 8), "seed": (3, 4)},
+    artifact=("curves", "gradient_equivalence"),
+))
 
 
 if __name__ == "__main__":

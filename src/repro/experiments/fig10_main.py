@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.common import evaluate
 from repro.experiments.tables import fmt, format_table, gib
+from repro.runtime import ExperimentSpec, register
 from repro.zoo import PAPER_NETWORKS
 
 POLICIES = ("baseline", "archopt", "il", "mbs-fs", "mbs1", "mbs2")
@@ -25,12 +26,8 @@ def run(networks: tuple[str, ...] = PAPER_NETWORKS,
     return {"grid": grid, "policies": POLICIES, "memory": memory}
 
 
-def main(argv: list[str] | None = None) -> None:
-    argv = argv or []
-    metrics = ["time", "energy", "traffic"]
-    if "--metric" in argv:
-        metrics = [argv[argv.index("--metric") + 1]]
-    res = run()
+def render(res: dict, metrics: list[str] | None = None) -> None:
+    metrics = metrics or ["time", "energy", "traffic"]
     grid = res["grid"]
 
     if "time" in metrics:
@@ -76,6 +73,24 @@ def main(argv: list[str] | None = None) -> None:
         print(format_table(
             ["network"] + [f"{p} GiB" for p in POLICIES] + ["mbs2/archopt"],
             rows, title="Fig. 10c — DRAM traffic per training step (per core)"))
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = argv or []
+    metrics = None
+    if "--metric" in argv:
+        metrics = [argv[argv.index("--metric") + 1]]
+    render(run(), metrics)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig10",
+    title="Fig. 10 — time / energy / DRAM traffic across six networks",
+    produce=run,
+    render=render,
+    sweep={"memory": ("HBM2", "HBM2x2", "GDDR5", "LPDDR4")},
+    artifact=("grid", "policies", "memory"),
+))
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.common import evaluate
 from repro.experiments.tables import fmt, format_table
+from repro.runtime import ExperimentSpec, register
 from repro.types import MIB
 
 POLICIES = ("il", "mbs-fs", "mbs1", "mbs2")
@@ -30,10 +31,9 @@ def run(net_name: str = "resnet50") -> dict:
     return {"network": net_name, "cells": cells, "normalized": norm}
 
 
-def main(argv: list[str] | None = None) -> None:
+def render(res: dict) -> None:
     from repro.experiments.plots import line_plot
 
-    res = run()
     for metric in ("time", "traffic"):
         rows = []
         for buf in BUFFER_MIB:
@@ -57,6 +57,20 @@ def main(argv: list[str] | None = None) -> None:
             title=f"normalized {metric} across buffer sizes 5..40 MiB",
         ))
         print()
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="fig11",
+    title="Fig. 11 — time and traffic vs global buffer size",
+    produce=run,
+    render=render,
+    sweep={"net_name": ("resnet50", "resnet101", "inception_v3")},
+    artifact=("network", "cells", "normalized"),
+))
 
 
 if __name__ == "__main__":

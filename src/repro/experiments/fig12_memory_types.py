@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.common import evaluate
 from repro.experiments.tables import fmt, format_table
+from repro.runtime import ExperimentSpec, register
 
 POLICIES = ("baseline", "archopt", "il", "mbs2")
 MEMORIES = ("HBM2x2", "GDDR5", "LPDDR4")
@@ -24,8 +25,7 @@ def run(net_name: str = "resnet50") -> dict:
     return {"network": net_name, "cells": cells, "speedup": speedup}
 
 
-def main(argv: list[str] | None = None) -> None:
-    res = run()
+def render(res: dict) -> None:
     rows = []
     for policy in POLICIES:
         for mem in MEMORIES:
@@ -45,6 +45,20 @@ def main(argv: list[str] | None = None) -> None:
             "(speedup normalized to Baseline + HBM2x2)"
         ),
     ))
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="fig12",
+    title="Fig. 12 — memory-type sensitivity with per-kind breakdown",
+    produce=run,
+    render=render,
+    sweep={"net_name": ("resnet50", "inception_v3")},
+    artifact=("network", "cells", "speedup"),
+))
 
 
 if __name__ == "__main__":

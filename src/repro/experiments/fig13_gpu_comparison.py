@@ -3,6 +3,7 @@ from __future__ import annotations
 
 from repro.experiments.common import evaluate, network
 from repro.experiments.tables import fmt, format_table
+from repro.runtime import ExperimentSpec, register
 from repro.wavecore.gpu import simulate_gpu_step
 
 NETWORKS = ("resnet50", "resnet101", "resnet152", "inception_v3")
@@ -24,8 +25,7 @@ def run(networks: tuple[str, ...] = NETWORKS) -> dict:
     return {"rows": rows}
 
 
-def main(argv: list[str] | None = None) -> None:
-    res = run()
+def render(res: dict) -> None:
     table = []
     for name, row in res["rows"].items():
         table.append(
@@ -43,6 +43,19 @@ def main(argv: list[str] | None = None) -> None:
             "(mini-batch 64 per device)"
         ),
     ))
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="fig13",
+    title="Fig. 13 — V100 vs WaveCore+MBS2 across memory types",
+    produce=run,
+    render=render,
+    artifact=("rows",),
+))
 
 
 if __name__ == "__main__":

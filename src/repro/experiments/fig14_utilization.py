@@ -3,6 +3,7 @@ from __future__ import annotations
 
 from repro.experiments.common import evaluate
 from repro.experiments.tables import fmt, format_table
+from repro.runtime import ExperimentSpec, register
 from repro.zoo import PAPER_NETWORKS
 
 POLICIES = ("baseline", "archopt", "mbs-fs", "mbs1", "mbs2")
@@ -21,8 +22,7 @@ def run(networks: tuple[str, ...] = PAPER_NETWORKS) -> dict:
     return {"grid": grid, "average": avg}
 
 
-def main(argv: list[str] | None = None) -> None:
-    res = run()
+def render(res: dict) -> None:
     rows = [
         [net] + [fmt(res["grid"][net][p], 3) for p in POLICIES]
         for net in res["grid"]
@@ -34,6 +34,19 @@ def main(argv: list[str] | None = None) -> None:
     ))
     print("\npaper averages: baseline 0.538, archopt 0.815, "
           "mbs-fs 0.667, mbs1/mbs2 0.786")
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="fig14",
+    title="Fig. 14 — systolic-array utilization, unlimited DRAM bandwidth",
+    produce=run,
+    render=render,
+    artifact=("grid", "average"),
+))
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.experiments.common import evaluate
 from repro.experiments.tables import fmt, format_table
+from repro.runtime import ExperimentSpec, register
 
 DEEP_CNNS = ("resnet50", "resnet101", "resnet152",
              "inception_v3", "inception_v4")
@@ -30,8 +31,7 @@ def run(networks: tuple[str, ...] = DEEP_CNNS) -> dict:
     return {"per_network": per_net, "average": avg}
 
 
-def main(argv: list[str] | None = None) -> None:
-    res = run()
+def render(res: dict) -> None:
     rows = [
         [
             name,
@@ -58,6 +58,19 @@ def main(argv: list[str] | None = None) -> None:
             "(paper: 75% DRAM saving / 4.0x cut, 53% perf, 26% energy)"
         ),
     ))
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="headline",
+    title="Headline — abstract's traffic / speedup / energy averages",
+    produce=run,
+    render=render,
+    artifact=("per_network", "average"),
+))
 
 
 if __name__ == "__main__":

@@ -1,19 +1,49 @@
 """``mbs-repro`` command-line entry point.
 
-Usage::
+Experiments are declarative :class:`~repro.runtime.spec.ExperimentSpec`
+entries scheduled through the :mod:`repro.runtime` engine: parameter
+grids are sharded across a process pool (``--jobs N``) and every result
+is written to a content-addressed cache keyed on spec name + parameters
++ code fingerprint, so an unchanged experiment is never recomputed.
 
-    mbs-repro <artifact> [driver args]
-    mbs-repro all
+Subcommands::
+
+    mbs-repro run <artifact> [--set k=v ...] [--quick] [--no-cache]
+    mbs-repro all [--jobs N] [--only a,b] [--full] [--out DIR]
+    mbs-repro sweep <artifact> [--set axis=v1,v2,... ...] [--jobs N]
+    mbs-repro bench [--only a,b] [--json PATH]
     mbs-repro schedule <network> [policy] [buffer MiB]
+    mbs-repro export [results.json] [--full] [--jobs N]
+    mbs-repro list
+
+Common flags: ``--jobs N`` worker processes (default 1 = serial),
+``--no-cache`` force recomputation, ``--cache-dir DIR`` cache root
+(default ``.mbs-cache`` or ``$MBS_REPRO_CACHE``), ``--out DIR`` copy
+result manifests to DIR, ``--timeout S`` per-task budget.
+
+Legacy form ``mbs-repro <artifact> [driver args]`` still dispatches to
+the driver module directly (always recomputes).
 
 Artifacts: fig3 fig4 fig6 fig10 fig11 fig12 fig13 fig14 tab2 ablation
-headline scaling.
+precision headline scaling.
 """
 from __future__ import annotations
 
+import argparse
+import ast
 import sys
+from pathlib import Path
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.runtime import (
+    ResultCache,
+    Task,
+    get_spec,
+    manifest_bytes,
+    run_tasks,
+)
+
+SUBCOMMANDS = ("run", "all", "sweep", "bench", "schedule", "export", "list")
 
 
 def _schedule_command(rest: list[str]) -> int:
@@ -38,31 +68,348 @@ def _schedule_command(rest: list[str]) -> int:
     return 0
 
 
+def _parse_value(text: str):
+    """``--set`` values: Python literals when possible, else strings."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_sets(pairs: list[str], multi: bool = False) -> dict:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects k=v, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        if multi:
+            out[key] = tuple(_parse_value(v) for v in raw.split(","))
+        else:
+            out[key] = _parse_value(raw)
+    return out
+
+
+def _add_engine_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default: 1, serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute even when a cached result exists")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="cache root (default: .mbs-cache or $MBS_REPRO_CACHE)")
+    p.add_argument("--out", metavar="DIR", default=None,
+                   help="also write result manifests under DIR")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-task wall-clock budget in seconds "
+                        "(enforced in pool mode, --jobs >= 2)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mbs-repro",
+        description="MBS paper-artifact runner (parallel, cached).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one experiment and print its figure")
+    p.add_argument("artifact")
+    p.add_argument("--set", action="append", default=[], metavar="k=v",
+                   help="override one produce-fn parameter")
+    p.add_argument("--quick", action="store_true",
+                   help="use the spec's cheaper CI parameters")
+    _add_engine_flags(p)
+
+    p = sub.add_parser("all", help="run every registered experiment")
+    p.add_argument("--only", metavar="a,b", default=None,
+                   help="comma-separated subset of artifacts")
+    p.add_argument("--full", action="store_true",
+                   help="disable the specs' --quick parameter overrides")
+    p.add_argument("--summary", action="store_true",
+                   help="suppress rendered figures, print the table only")
+    _add_engine_flags(p)
+
+    p = sub.add_parser("sweep", help="run an experiment's parameter grid")
+    p.add_argument("artifact")
+    p.add_argument("--set", action="append", default=[],
+                   metavar="axis=v1,v2",
+                   help="override one sweep axis (comma-separated values)")
+    p.add_argument("--quick", action="store_true")
+    _add_engine_flags(p)
+
+    p = sub.add_parser("bench", help="time each experiment produce-fn")
+    p.add_argument("--only", metavar="a,b", default=None)
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write timings as JSON")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="where fresh manifests land (cache is bypassed)")
+
+    p = sub.add_parser("export", help="dump every artifact to one JSON file")
+    p.add_argument("path", nargs="?", default="results.json")
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default: 1, serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute even when a cached result exists")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="cache root (default: .mbs-cache or $MBS_REPRO_CACHE)")
+
+    sub.add_parser("list", help="list registered experiments")
+    return parser
+
+
+def _make_cache(args) -> ResultCache:
+    return ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+
+
+def _write_out(results, out_dir: str, per_spec_names: bool) -> None:
+    """Copy manifests to ``--out``: deterministic bytes, no timings."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for r in results:
+        if r.manifest is None:
+            continue
+        name = (f"{r.spec_name}.json" if per_spec_names
+                else f"{r.spec_name}--{r.key}.json")
+        (out / name).write_bytes(manifest_bytes(r.manifest))
+
+
+def _summary_table(results) -> str:
+    from repro.experiments.tables import format_table
+
+    rows = [
+        [r.spec_name, r.status, f"{r.seconds:6.2f}", r.key,
+         r.manifest_path or "-"]
+        for r in results
+    ]
+    return format_table(
+        ["artifact", "status", "secs", "key", "manifest"], rows,
+        title="runtime summary",
+    )
+
+
+def _print_failures(results) -> None:
+    for r in results:
+        if not r.ok:
+            print(f"\n[{r.spec_name}] {r.status}:\n{r.error}",
+                  file=sys.stderr)
+
+
+def _cmd_run(args) -> int:
+    try:
+        spec = get_spec(args.artifact)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        overrides = _parse_sets(args.set)
+        task = Task(spec, overrides, quick=args.quick)
+        task.params()
+    except (KeyError, SystemExit) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    results = run_tasks(
+        [task], jobs=args.jobs, cache=_make_cache(args),
+        use_cache=not args.no_cache, timeout_s=args.timeout,
+    )
+    r = results[0]
+    if not r.ok:
+        _print_failures(results)
+        return 1
+    print(r.rendered, end="")
+    if args.out:
+        _write_out(results, args.out, per_spec_names=False)
+    print(f"\n[{r.spec_name}] {r.status}  key={r.key}  "
+          f"manifest={r.manifest_path}")
+    return 0
+
+
+def _select_specs(only: str | None):
+    names = list(ALL_EXPERIMENTS)
+    if only:
+        requested = [n.strip() for n in only.split(",") if n.strip()]
+        unknown = [n for n in requested if n not in ALL_EXPERIMENTS]
+        if unknown:
+            raise SystemExit(
+                f"unknown artifact(s) {' '.join(unknown)}; choose from "
+                f"{' '.join(ALL_EXPERIMENTS)}"
+            )
+        names = requested
+    return [get_spec(n) for n in names]
+
+
+def _cmd_all(args) -> int:
+    try:
+        specs = _select_specs(args.only)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    tasks = [Task(spec, {}, quick=not args.full) for spec in specs]
+    results = run_tasks(
+        tasks, jobs=args.jobs, cache=_make_cache(args),
+        use_cache=not args.no_cache, timeout_s=args.timeout,
+    )
+    if not args.summary:
+        for r in results:
+            print(f"\n{'=' * 72}\n== {r.spec_name}\n{'=' * 72}")
+            print(r.rendered, end="")
+    if args.out:
+        _write_out(results, args.out, per_spec_names=True)
+    print()
+    print(_summary_table(results))
+    _print_failures(results)
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_sweep(args) -> int:
+    from repro.runtime import expand_grid
+
+    try:
+        spec = get_spec(args.artifact)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    axes = dict(spec.sweep)
+    try:
+        axes.update(_parse_sets(args.set, multi=True))
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not axes:
+        print(f"{spec.name} declares no sweep axes; use --set axis=v1,v2",
+              file=sys.stderr)
+        return 2
+    try:
+        tasks = [
+            Task(spec, point, quick=args.quick)
+            for point in expand_grid(axes)
+        ]
+        for t in tasks:
+            t.params()
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"sweep {spec.name}: {len(tasks)} point(s) over "
+          f"{', '.join(axes)}  (jobs={args.jobs})")
+    results = run_tasks(
+        tasks, jobs=args.jobs, cache=_make_cache(args),
+        use_cache=not args.no_cache, timeout_s=args.timeout,
+    )
+    if args.out:
+        _write_out(results, args.out, per_spec_names=False)
+    from repro.experiments.tables import format_table
+
+    rows = [
+        [" ".join(f"{k}={v}" for k, v in
+                  sorted(t.overrides.items())) or "(defaults)",
+         r.status, f"{r.seconds:6.2f}", r.key]
+        for t, r in zip(tasks, results)
+    ]
+    print(format_table(["point", "status", "secs", "key"], rows,
+                       title=f"sweep {spec.name}"))
+    _print_failures(results)
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_bench(args) -> int:
+    """Cold-start timing of every produce-fn.
+
+    Serial by design: each task runs inline with the memoized-network
+    cache cleared first, so timings are comparable across artifacts
+    (a shared worker or warm memo would hide each spec's build cost).
+    """
+    from repro.experiments.common import clear_caches
+
+    try:
+        specs = _select_specs(args.only)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    cache = _make_cache(args)
+    results = []
+    for spec in specs:
+        clear_caches()
+        results.extend(run_tasks(
+            [Task(spec, {}, quick=not args.full)],
+            jobs=1, cache=cache, use_cache=False,
+        ))
+    from repro.experiments.tables import format_table
+
+    rows = [[r.spec_name, r.status, f"{r.seconds:8.3f}"] for r in results]
+    print(format_table(["artifact", "status", "secs"], rows,
+                       title="bench (cold start, serial, cache bypassed)"))
+    if args.json:
+        import json
+
+        payload = [
+            {"artifact": r.spec_name, "status": r.status,
+             "seconds": r.seconds, "key": r.key}
+            for r in results
+        ]
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {args.json}")
+    _print_failures(results)
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_export(args) -> int:
+    from repro.experiments.export import export_all
+
+    results = export_all(
+        args.path, quick=not args.full, jobs=args.jobs,
+        cache=_make_cache(args), use_cache=not args.no_cache,
+    )
+    print(f"wrote {len(results)} experiment results to {args.path}")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.experiments.tables import format_table
+
+    rows = []
+    for name in ALL_EXPERIMENTS:
+        spec = get_spec(name)
+        rows.append([
+            name, spec.title,
+            ", ".join(spec.sweep) or "-",
+            "yes" if spec.quick else "-",
+        ])
+    print(format_table(
+        ["artifact", "title", "sweep axes", "quick"], rows,
+        title="registered experiments",
+    ))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
-    name = argv[0]
-    rest = argv[1:]
-    if name == "schedule":
-        return _schedule_command(rest)
-    if name == "export":
-        from repro.experiments.export import main as export_main
-        export_main(rest or None)
+    if argv[0] == "schedule":
+        return _schedule_command(argv[1:])
+    if argv[0] in ALL_EXPERIMENTS:
+        # legacy direct dispatch: always recompute, print the figure
+        ALL_EXPERIMENTS[argv[0]].main(argv[1:])
         return 0
-    if name == "all":
-        for key, module in ALL_EXPERIMENTS.items():
-            print(f"\n{'=' * 72}\n== {key}\n{'=' * 72}")
-            args = ["--quick"] if key == "fig6" else []
-            module.main(args)
-        return 0
-    if name not in ALL_EXPERIMENTS:
-        print(f"unknown artifact {name!r}; choose from "
-              f"{' '.join(ALL_EXPERIMENTS)} or 'all'")
+    if argv[0] not in SUBCOMMANDS:
+        print(f"unknown artifact or command {argv[0]!r}; choose from "
+              f"{' '.join(SUBCOMMANDS)} or {' '.join(ALL_EXPERIMENTS)}",
+              file=sys.stderr)
         return 2
-    ALL_EXPERIMENTS[name].main(rest)
-    return 0
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse --help (0) or usage error (2)
+        return int(exc.code or 0)
+    handler = {
+        "run": _cmd_run,
+        "all": _cmd_all,
+        "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
+        "export": _cmd_export,
+        "list": _cmd_list,
+    }[args.command]
+    return handler(args)
 
 
 if __name__ == "__main__":

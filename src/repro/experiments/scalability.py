@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.experiments.common import network
 from repro.experiments.tables import fmt, format_table
+from repro.runtime import ExperimentSpec, register
 from repro.wavecore.scaling import weak_scaling
 
 CHIPS = (1, 2, 4, 8, 16, 32)
@@ -26,8 +27,7 @@ def run(networks: tuple[str, ...] = ("resnet50", "inception_v3"),
     return {"rows": rows, "chips": CHIPS}
 
 
-def main(argv: list[str] | None = None) -> None:
-    res = run()
+def render(res: dict) -> None:
     for name, by_policy in res["rows"].items():
         table = []
         for policy, points in by_policy.items():
@@ -44,6 +44,20 @@ def main(argv: list[str] | None = None) -> None:
             table, title=f"Weak scaling — {name} (ring all-reduce)",
         ))
         print()
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="scaling",
+    title="Weak scaling — MBS under multi-chip data parallelism",
+    produce=run,
+    render=render,
+    sweep={"policies": (("baseline", "mbs2"), ("mbs1", "mbs2"))},
+    artifact=("rows", "chips"),
+))
 
 
 if __name__ == "__main__":

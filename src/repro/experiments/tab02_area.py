@@ -2,6 +2,7 @@
 from __future__ import annotations
 
 from repro.experiments.tables import format_table
+from repro.runtime import ExperimentSpec, register
 from repro.wavecore.area import estimate_area, estimate_power
 from repro.wavecore.config import DEFAULT_CONFIG
 
@@ -27,8 +28,7 @@ def run() -> dict:
     }
 
 
-def main(argv: list[str] | None = None) -> None:
-    res = run()
+def render(res: dict) -> None:
     a = res["area"]
     rows = [list(r) for r in REFERENCES]
     rows.append([
@@ -46,6 +46,19 @@ def main(argv: list[str] | None = None) -> None:
         f"{a.vector_mm2:.2f} mm2, uncore {a.uncore_mm2:.2f} mm2 "
         f"(paper: 534.0 mm2 total, 56 W peak)"
     )
+
+
+def main(argv: list[str] | None = None) -> None:
+    render(run())
+
+
+SPEC = register(ExperimentSpec(
+    name="tab2",
+    title="Tab. 2 — WaveCore area and peak power vs other accelerators",
+    produce=run,
+    render=render,
+    artifact=("area", "power_w", "tops_fp16"),
+))
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ of the paper provision buffer space for.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.graph.layers import EltwiseAdd, Layer
 from repro.types import Shape

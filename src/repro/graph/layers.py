@@ -8,7 +8,7 @@ derives its output shape, so a mis-wired network fails loudly when built.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.graph import shapes as _shapes
 from repro.types import WORD_BYTES, Shape

@@ -1,7 +1,7 @@
 """A network is an input shape plus an ordered sequence of blocks."""
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.graph.blocks import Block
 from repro.graph.layers import Layer

@@ -1,7 +1,7 @@
 """Text rendering of networks: summaries and per-block diagrams."""
 from __future__ import annotations
 
-from repro.graph.blocks import Block, Branch, MergeKind
+from repro.graph.blocks import Block, Branch
 from repro.graph.network import Network
 
 

@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.graph.blocks import Block, Branch, MergeKind
 from repro.graph.network import Network
-from repro.nn.layers import NNLayer, NNNorm, NNReLU, build_layer
+from repro.nn.layers import NNNorm, NNReLU, build_layer
 
 
 class _ExecBranch:

@@ -1,0 +1,55 @@
+"""Experiment orchestration runtime.
+
+The runtime turns the per-figure driver modules into declarative,
+schedulable units:
+
+- :mod:`repro.runtime.spec` — :class:`ExperimentSpec` (name, parameter
+  space, produce-fn, artifact schema) plus the global registry the
+  modules in :mod:`repro.experiments` register into.
+- :mod:`repro.runtime.serialize` — canonical JSON conversion for
+  artifacts and manifests.
+- :mod:`repro.runtime.cache` — content-addressed result cache keyed on
+  spec name + parameters + code fingerprint.
+- :mod:`repro.runtime.pool` — process-pool sweep engine with
+  deterministic result ordering and per-task timeouts.
+
+The ``mbs-repro`` CLI (:mod:`repro.experiments.runner`) is a thin shell
+over these pieces; future scaling work (sharded sweeps, multi-backend,
+serving) should build on them rather than on the drivers directly.
+"""
+from repro.runtime.cache import (
+    ResultCache,
+    code_fingerprint,
+    default_cache_dir,
+    manifest_bytes,
+    task_key,
+)
+from repro.runtime.pool import Task, TaskResult, run_tasks
+from repro.runtime.serialize import canonical_dumps, jsonify
+from repro.runtime.spec import (
+    ExperimentSpec,
+    all_specs,
+    expand_grid,
+    get_spec,
+    register,
+    spec_names,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultCache",
+    "Task",
+    "TaskResult",
+    "all_specs",
+    "canonical_dumps",
+    "code_fingerprint",
+    "default_cache_dir",
+    "expand_grid",
+    "get_spec",
+    "jsonify",
+    "manifest_bytes",
+    "register",
+    "run_tasks",
+    "spec_names",
+    "task_key",
+]

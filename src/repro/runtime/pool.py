@@ -1,0 +1,228 @@
+"""Process-pool sweep engine with caching and deterministic ordering.
+
+:func:`run_tasks` takes a list of :class:`Task` (spec + parameter
+overrides), resolves each task's content address, satisfies what it can
+from the :class:`~repro.runtime.cache.ResultCache`, and fans the misses
+out across ``jobs`` worker processes.  Results come back in *input*
+order regardless of completion order, and fresh manifests are written
+in that same order — so ``--jobs 4`` and ``--jobs 1`` produce
+byte-identical cache state.
+
+``jobs=1`` executes inline (no subprocess), which doubles as the serial
+reference path.  Workers re-derive everything from the pickled spec
+(module-level produce-fns pickle by reference), so a worker crash or
+timeout poisons only its own task.
+"""
+from __future__ import annotations
+
+import concurrent.futures
+import contextlib
+import io
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.runtime.cache import (
+    ResultCache,
+    build_manifest,
+    code_fingerprint,
+    task_key,
+)
+from repro.runtime.serialize import jsonify
+from repro.runtime.spec import ExperimentSpec
+
+#: engine-wide default per-task budget; generous — a full (non-quick)
+#: fig6 training run finishes well inside a minute on one core.
+DEFAULT_TIMEOUT_S = 600.0
+
+
+@dataclass(frozen=True)
+class Task:
+    """One produce-fn invocation: a spec plus parameter overrides."""
+
+    spec: ExperimentSpec
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    quick: bool = False
+
+    def params(self) -> dict[str, Any]:
+        return self.spec.resolve_params(self.overrides, quick=self.quick)
+
+
+@dataclass
+class TaskResult:
+    spec_name: str
+    params: dict[str, Any]
+    key: str
+    status: str  # "ran" | "cached" | "error" | "timeout"
+    seconds: float = 0.0
+    manifest: dict[str, Any] | None = None
+    manifest_path: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ran", "cached")
+
+    @property
+    def rendered(self) -> str:
+        return (self.manifest or {}).get("rendered", "")
+
+    @property
+    def artifact(self) -> Any:
+        return (self.manifest or {}).get("artifact")
+
+
+def _produce(spec: ExperimentSpec, params: dict[str, Any]):
+    """Run one produce-fn; returns (jsonified artifact, rendered text)."""
+    result = spec.produce(**params)
+    missing = spec.missing_artifact_keys(result)
+    if missing:
+        raise ValueError(
+            f"{spec.name}: artifact missing required key(s) {missing}"
+        )
+    rendered = io.StringIO()
+    if spec.render is not None:
+        with contextlib.redirect_stdout(rendered):
+            spec.render(result)
+    return jsonify(result), rendered.getvalue()
+
+
+def _worker(spec: ExperimentSpec, params: dict[str, Any]):
+    """Pool entry point: never raises, so one bad task can't kill a run.
+
+    Times itself so TaskResult.seconds reflects the produce-fn, not the
+    pool's collection order.
+    """
+    started = time.perf_counter()
+    try:
+        artifact, rendered = _produce(spec, params)
+        return ("ok", artifact, rendered, time.perf_counter() - started)
+    except (KeyboardInterrupt, SystemExit):
+        # On the inline path this is the user's Ctrl-C — it must abort
+        # the whole run, not be recorded as one task's failure.
+        raise
+    except BaseException:
+        return ("error", traceback.format_exc(), "",
+                time.perf_counter() - started)
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    use_cache: bool = True,
+    timeout_s: float | None = None,
+    fingerprint: str | None = None,
+) -> list[TaskResult]:
+    """Execute ``tasks``, returning one TaskResult per task, in order.
+
+    ``cache=None`` with ``use_cache=True`` uses the default cache dir;
+    pass ``use_cache=False`` to force recomputation (results are still
+    written back so later runs can hit).
+
+    Task budgets (``timeout_s`` / spec.timeout_s) are enforced only in
+    pool mode (``jobs >= 2``), where a stuck worker can be terminated;
+    the inline path runs each produce-fn to completion.
+    """
+    cache = cache if cache is not None else ResultCache()
+    fp = fingerprint or code_fingerprint()
+
+    results: list[TaskResult | None] = [None] * len(tasks)
+    misses: list[int] = []
+    for i, task in enumerate(tasks):
+        params = task.params()
+        key = task_key(task.spec, params, fingerprint=fp)
+        manifest = cache.lookup(task.spec.name, key) if use_cache else None
+        if manifest is not None:
+            results[i] = TaskResult(
+                spec_name=task.spec.name, params=params, key=key,
+                status="cached", manifest=manifest,
+                manifest_path=str(cache.path(task.spec.name, key)),
+            )
+        else:
+            results[i] = TaskResult(
+                spec_name=task.spec.name, params=params, key=key,
+                status="error",
+            )
+            misses.append(i)
+
+    if misses:
+        if jobs <= 1:
+            for i in misses:
+                outcome = _worker(tasks[i].spec, results[i].params)
+                _absorb(results[i], tasks[i], outcome, fp, cache)
+        else:
+            _run_pool(tasks, results, misses, jobs, timeout_s, fp, cache)
+
+    return [r for r in results if r is not None]
+
+
+def _run_pool(tasks, results, misses, jobs, timeout_s, fp, cache):
+    pool = concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(jobs, len(misses))
+    )
+    timed_out = False
+    try:
+        futures = {
+            i: pool.submit(_worker, tasks[i].spec, results[i].params)
+            for i in misses
+        }
+        for i in misses:
+            # Tighten-only: a spec's own budget and the caller's flag
+            # both cap the task; whichever is smaller wins.
+            limits = [t for t in (tasks[i].spec.timeout_s, timeout_s)
+                      if t is not None]
+            budget = min(limits) if limits else DEFAULT_TIMEOUT_S
+            # Each task gets its full budget measured from when the
+            # collection loop reaches it — waits spent on earlier tasks
+            # only ever grant later ones *extra* time, so a task is
+            # never charged for sitting in the executor queue behind a
+            # slow sibling.
+            try:
+                outcome = futures[i].result(timeout=budget)
+            except concurrent.futures.TimeoutError:
+                never_started = futures[i].cancel()
+                timed_out = True
+                results[i].status = "timeout"
+                results[i].error = (
+                    f"cancelled while queued: no worker free within the "
+                    f"{budget:.1f}s task budget"
+                    if never_started else
+                    f"timed out after {budget:.1f}s (task budget)"
+                )
+                continue
+            except concurrent.futures.process.BrokenProcessPool as exc:
+                results[i].status = "error"
+                results[i].error = f"worker process died: {exc}"
+                continue
+            _absorb(results[i], tasks[i], outcome, fp, cache)
+    finally:
+        # Snapshot the worker handles first: shutdown(wait=False) drops
+        # the executor's _processes reference.
+        workers = dict(getattr(pool, "_processes", None) or {})
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+        if timed_out:
+            # Every future is resolved or cancelled by now, so any
+            # worker still busy is grinding a timed-out task.  Kill it:
+            # ProcessPoolExecutor cannot cancel a running task, and its
+            # non-daemon workers would otherwise be joined at
+            # interpreter exit, hanging the CLI on a stuck produce-fn.
+            for proc in workers.values():
+                proc.terminate()
+
+
+def _absorb(result: TaskResult, task: Task, outcome, fp, cache):
+    """Fold a worker outcome into the TaskResult; persist on success."""
+    status, payload, rendered, result.seconds = outcome
+    if status != "ok":
+        result.status = "error"
+        result.error = payload
+        return
+    manifest = build_manifest(
+        task.spec, result.params, result.key, fp, payload, rendered
+    )
+    result.status = "ran"
+    result.manifest = manifest
+    result.manifest_path = str(cache.store(manifest))

@@ -23,7 +23,7 @@ from repro.core.traffic import (
     compute_traffic,
 )
 from repro.core.policies import make_schedule
-from repro.graph.layers import LayerKind, Pool, PoolKind
+from repro.graph.layers import Pool, PoolKind
 from repro.graph.network import Network
 from repro.trace.hooks import TraceEvent
 from repro.types import POOL_INDEX_BYTES, WORD_BYTES

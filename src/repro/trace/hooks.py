@@ -5,7 +5,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graph.layers import LayerKind
 from repro.nn.loss import softmax_cross_entropy
 from repro.nn.model import NetworkModel
 

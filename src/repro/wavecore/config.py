@@ -1,7 +1,7 @@
 """WaveCore hardware configuration (paper Sec. 4.2, Tab. 2 and Tab. 4)."""
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.types import GIB, KIB, MIB
 

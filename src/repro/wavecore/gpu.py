@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.core.policies import make_schedule
 from repro.core.traffic import Phase, compute_traffic
-from repro.graph.layers import Conv2D, FullyConnected, LayerKind
+from repro.graph.layers import Conv2D, LayerKind
 from repro.graph.network import Network
 from repro.types import ceil_div
 from repro.wavecore.gemm import GemmPhase, conv_gemm, fc_gemm

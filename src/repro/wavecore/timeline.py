@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.schedule import Schedule
-from repro.core.traffic import Phase, TrafficOptions, compute_traffic
+from repro.core.traffic import Phase
 from repro.graph.network import Network
 from repro.wavecore.config import WaveCoreConfig, config_for_policy
 from repro.wavecore.simulator import simulate_step

@@ -9,11 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.schedule import Schedule
 from repro.core.traffic import Phase, TrafficReport
 from repro.core.subbatch import sub_batch_sequence
 from repro.graph.blocks import Block
-from repro.graph.layers import Conv2D, FullyConnected, Layer, LayerKind
+from repro.graph.layers import Conv2D, Layer, LayerKind
 from repro.graph.network import Network
 from repro.wavecore.config import WaveCoreConfig
 from repro.wavecore.gemm import GemmPhase, conv_gemm, fc_gemm

@@ -1,4 +1,9 @@
-"""Shared fixtures: networks are expensive to build, so cache per session."""
+"""Shared fixtures: networks are expensive to build, so cache per session.
+
+Every test also gets an isolated runtime result cache (via
+``$MBS_REPRO_CACHE``) so nothing writes ``.mbs-cache`` into the repo and
+no cached artifact leaks between tests.
+"""
 from __future__ import annotations
 
 import numpy as np
@@ -15,6 +20,11 @@ from repro.zoo import (
     toy_inception,
     toy_residual,
 )
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("MBS_REPRO_CACHE", str(tmp_path / "mbs-cache"))
 
 
 @pytest.fixture(scope="session")

@@ -4,8 +4,7 @@ from hypothesis import strategies as st
 
 from repro.core.policies import make_schedule
 from repro.core.traffic import compute_traffic
-from repro.graph.layers import NormKind
-from repro.types import KIB, MIB, Shape
+from repro.types import KIB, Shape
 from repro.zoo import toy_chain, toy_inception, toy_residual
 
 

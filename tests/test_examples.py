@@ -3,7 +3,6 @@ import importlib.util
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
 
@@ -50,3 +49,10 @@ def test_train_mbs_cnn_runs(capsys):
     out = capsys.readouterr().out
     assert "checkpoint saved" in out
     assert "matches the trained model: True" in out
+
+
+def test_parallel_experiments_runs(capsys):
+    load("parallel_experiments").main()
+    out = capsys.readouterr().out
+    assert "6/6 cache hits" in out
+    assert "cache keys stable" in out

@@ -26,6 +26,17 @@ def test_registry_complete():
     }
 
 
+def test_modules_register_specs():
+    """Every driver module registers a matching runtime spec."""
+    from repro.runtime import get_spec
+
+    for name, module in ALL_EXPERIMENTS.items():
+        spec = get_spec(name)
+        assert spec.produce is module.run
+        assert spec.render is module.render
+        assert spec.module == module.__name__
+
+
 class TestFig3:
     def test_sorted_descending(self):
         res = fig03_footprint.run()

@@ -1,5 +1,4 @@
 """Top-level package surface and CLI coverage."""
-import pytest
 
 import repro
 

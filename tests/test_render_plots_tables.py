@@ -1,5 +1,4 @@
 """Presentation helpers: network rendering, ASCII plots, tables."""
-import pytest
 
 from repro.experiments.plots import line_plot, sparkline
 from repro.experiments.tables import fmt, format_table, gib, mib

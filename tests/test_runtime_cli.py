@@ -1,0 +1,155 @@
+"""``mbs-repro`` CLI: subcommand behavior, exit codes, and the
+parallel-vs-serial / cache-hit acceptance guarantees."""
+import json
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+class TestExitCodes:
+    def test_no_args_prints_usage(self, capsys):
+        assert main([]) == 0
+        assert "Artifacts" in capsys.readouterr().out
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["nope"]) == 2
+
+    def test_unknown_only_selection(self, capsys, cache_dir):
+        assert main(["all", "--only", "nope", "--cache-dir", cache_dir]) == 2
+
+    def test_unknown_run_parameter(self, capsys, cache_dir):
+        assert main(["run", "fig3", "--set", "bogus=1",
+                     "--cache-dir", cache_dir]) == 2
+
+    def test_bad_set_syntax(self, capsys, cache_dir):
+        assert main(["run", "fig3", "--set", "novalue",
+                     "--cache-dir", cache_dir]) == 2
+
+    def test_sweep_without_axes(self, capsys, cache_dir):
+        assert main(["sweep", "tab2", "--cache-dir", cache_dir]) == 2
+
+    def test_run_unknown_spec(self, capsys):
+        assert main(["run", "nope"]) == 2
+
+    def test_argparse_usage_error(self, capsys):
+        assert main(["all", "--jobs"]) == 2
+
+    def test_failing_task_exits_one(self, capsys, cache_dir):
+        # an unknown zoo network makes the produce-fn raise inside the engine
+        assert main(["run", "fig3", "--set", "net_name='no_such_net'",
+                     "--cache-dir", cache_dir]) == 1
+
+    def test_legacy_dispatch_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_schedule_command(self, capsys):
+        assert main(["schedule", "resnet50"]) == 0
+        assert "DRAM traffic/step" in capsys.readouterr().out
+
+    def test_schedule_needs_network(self, capsys):
+        assert main(["schedule"]) == 2
+
+
+class TestRunSubcommand:
+    def test_run_then_cache_hit_replays_render(self, capsys, cache_dir):
+        assert main(["run", "tab2", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "Tab. 2" in first and "] ran" in first
+        assert main(["run", "tab2", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "Tab. 2" in second and "] cached" in second
+
+    def test_no_cache_forces_recompute(self, capsys, cache_dir):
+        main(["run", "tab2", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["run", "tab2", "--cache-dir", cache_dir,
+                     "--no-cache"]) == 0
+        assert "] ran" in capsys.readouterr().out
+
+    def test_set_overrides_params(self, capsys, cache_dir):
+        assert main(["run", "fig3", "--set", "buffer_mib=20",
+                     "--cache-dir", cache_dir]) == 0
+        assert "20 MiB buffer" in capsys.readouterr().out
+
+
+class TestListBenchSweep:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "scaling" in out
+
+    def test_bench_writes_json(self, capsys, tmp_path, cache_dir):
+        path = tmp_path / "bench.json"
+        assert main(["bench", "--only", "tab2,fig3", "--json", str(path),
+                     "--cache-dir", cache_dir]) == 0
+        payload = json.loads(path.read_text())
+        assert [p["artifact"] for p in payload] == ["tab2", "fig3"]
+        assert all(p["status"] == "ran" for p in payload)
+
+    def test_sweep_grid_and_cache_sharing(self, capsys, cache_dir):
+        argv = ["sweep", "fig3", "--set", "mini_batch=16,32",
+                "--set", "net_name='resnet50'", "--jobs", "2",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("cached") >= 2
+
+    def test_export_subcommand(self, capsys, tmp_path, cache_dir,
+                               monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.ALL_EXPERIMENTS",
+            {k: v for k, v in __import__(
+                "repro.experiments", fromlist=["ALL_EXPERIMENTS"]
+            ).ALL_EXPERIMENTS.items() if k in ("fig3", "tab2")},
+        )
+        path = tmp_path / "results.json"
+        assert main(["export", str(path), "--cache-dir", cache_dir]) == 0
+        assert set(json.loads(path.read_text())) == {"fig3", "tab2"}
+
+
+SMOKE = "fig3,fig4,tab2,precision,scaling"
+
+
+class TestAllSubcommand:
+    def test_out_manifests_and_summary(self, capsys, tmp_path, cache_dir):
+        out = tmp_path / "artifacts"
+        assert main(["all", "--only", SMOKE, "--jobs", "2", "--summary",
+                     "--out", str(out), "--cache-dir", cache_dir]) == 0
+        names = sorted(p.name for p in out.iterdir())
+        assert names == sorted(f"{n}.json" for n in SMOKE.split(","))
+        manifest = json.loads((out / "tab2.json").read_text())
+        assert set(manifest) >= {"spec", "key", "fingerprint", "params",
+                                 "artifact", "rendered"}
+
+    def test_parallel_serial_parity_and_cache_hits(self, capsys, tmp_path):
+        """Acceptance: `all --jobs 4` == serial manifests byte-for-byte,
+        and a second invocation completes via cache hits only."""
+        out4, out1 = tmp_path / "j4", tmp_path / "j1"
+        c4, c1 = str(tmp_path / "c4"), str(tmp_path / "c1")
+        base = ["all", "--only", SMOKE, "--summary"]
+        assert main(base + ["--jobs", "4", "--out", str(out4),
+                            "--cache-dir", c4]) == 0
+        assert main(base + ["--jobs", "1", "--out", str(out1),
+                            "--cache-dir", c1]) == 0
+        files4 = sorted(p.name for p in out4.iterdir())
+        assert files4 == sorted(p.name for p in out1.iterdir())
+        for name in files4:
+            assert (out4 / name).read_bytes() == (out1 / name).read_bytes()
+
+        capsys.readouterr()
+        assert main(base + ["--jobs", "4", "--cache-dir", c4]) == 0
+        summary = capsys.readouterr().out
+        run_lines = [
+            ln for ln in summary.splitlines()
+            if ln.split() and ln.split()[0] in SMOKE.split(",")
+        ]
+        assert len(run_lines) == len(SMOKE.split(","))
+        assert all(ln.split()[1] == "cached" for ln in run_lines)

@@ -3,7 +3,7 @@ import pytest
 
 from repro.wavecore.area import estimate_area, estimate_power
 from repro.wavecore.config import DEFAULT_CONFIG, WaveCoreConfig
-from repro.wavecore.energy import DEFAULT_ENERGY, EnergyParams, step_energy
+from repro.wavecore.energy import EnergyParams, step_energy
 from repro.types import MIB
 
 
