@@ -2,6 +2,7 @@
 import numpy as np
 import pytest
 
+from repro.core.cost import ProxyCostModel
 from repro.core.grouping import GroupingProblem, exhaustive_grouping, greedy_grouping
 from repro.core.policies import make_schedule
 from repro.core.traffic import compute_traffic
@@ -42,27 +43,34 @@ def test_bench_gemm_cycle_model(benchmark):
     assert t.cycles > 0
 
 
-def test_bench_greedy_grouping(benchmark):
+def _grouping_problem_args():
+    """Fresh problem per round (pedantic setup, excluded from timing):
+    GroupingProblem memoizes group costs, so reusing one instance across
+    benchmark rounds would time dict hits instead of cost-model work."""
     rng = np.random.default_rng(0)
     problem = GroupingProblem(
         feasible=tuple(int(x) for x in rng.integers(1, 32, 60)),
-        weight_bytes=tuple(int(x) for x in rng.integers(10**3, 10**7, 60)),
-        out_bytes=tuple(int(x) for x in rng.integers(10**3, 10**6, 60)),
         mini_batch=32,
+        cost_model=ProxyCostModel(
+            weight_bytes=tuple(int(x) for x in rng.integers(10**3, 10**7, 60)),
+            out_bytes=tuple(int(x) for x in rng.integers(10**3, 10**6, 60)),
+            mini_batch=32,
+        ),
     )
-    groups = benchmark(greedy_grouping, problem)
+    return (problem,), {}
+
+
+def test_bench_greedy_grouping(benchmark):
+    groups = benchmark.pedantic(
+        greedy_grouping, setup=_grouping_problem_args, rounds=30
+    )
     assert groups
 
 
 def test_bench_exhaustive_grouping(benchmark):
-    rng = np.random.default_rng(0)
-    problem = GroupingProblem(
-        feasible=tuple(int(x) for x in rng.integers(1, 32, 60)),
-        weight_bytes=tuple(int(x) for x in rng.integers(10**3, 10**7, 60)),
-        out_bytes=tuple(int(x) for x in rng.integers(10**3, 10**6, 60)),
-        mini_batch=32,
+    groups = benchmark.pedantic(
+        exhaustive_grouping, setup=_grouping_problem_args, rounds=30
     )
-    groups = benchmark(exhaustive_grouping, problem)
     assert groups
 
 

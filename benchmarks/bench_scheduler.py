@@ -1,0 +1,46 @@
+"""Scheduling-time benchmarks: greedy vs exhaustive vs adaptive.
+
+Inception-v4 is the stress case — the deepest multi-branch network in
+the zoo, so its fusable windows give the grouping optimizers the most
+work.  ``mbs-auto`` prices every candidate group with the byte-accurate
+traffic walkers (memoized per block); these timings track what that
+exactness costs over the closed-form proxy.
+"""
+import pytest
+
+from repro.core.cost import TrafficCostModel
+from repro.core.policies import make_schedule
+from repro.core.traffic import compute_traffic
+from repro.zoo import inception_v4
+
+
+@pytest.fixture(scope="module")
+def inc4():
+    return inception_v4()
+
+
+def test_bench_greedy_proxy_schedule(benchmark, inc4):
+    sched = benchmark(make_schedule, inc4, "mbs2")
+    assert sched.num_blocks == len(inc4.blocks)
+
+
+def test_bench_exhaustive_proxy_schedule(benchmark, inc4):
+    sched = benchmark(make_schedule, inc4, "mbs2-opt")
+    assert sched.num_blocks == len(inc4.blocks)
+
+
+def test_bench_adaptive_auto_schedule(benchmark, inc4):
+    sched = benchmark(make_schedule, inc4, "mbs-auto")
+    assert sched.num_blocks == len(inc4.blocks)
+
+
+def test_bench_traffic_cost_model_full_schedule(benchmark, inc4):
+    """Pricing a complete schedule through the cost model (cold memo)."""
+    sched = make_schedule(inc4, "mbs-auto")
+    total = compute_traffic(inc4, sched).total_bytes
+
+    def price():
+        model = TrafficCostModel.for_schedule(inc4, sched)
+        return model.schedule_cost(sched)
+
+    assert benchmark(price) == total

@@ -25,6 +25,10 @@ if [[ $fast -eq 0 ]]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
         python -m repro.experiments.runner all --jobs 2 --summary \
         --cache-dir "$smoke_dir/cache" --out "$smoke_dir/manifests"
+    echo "== smoke: replay + diff (--render-from-cache) =="
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m repro.experiments.runner all --render-from-cache --summary \
+        --cache-dir "$smoke_dir/cache" --out "$smoke_dir/manifests"
 fi
 
 echo "== all checks passed =="

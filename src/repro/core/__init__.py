@@ -4,20 +4,37 @@ Pipeline: per-block per-sample space (Eq. 1 / Eq. 2) → feasible sub-batch
 sizes → layer grouping (greedy merge or exhaustive DP) → schedule →
 DRAM/global-buffer traffic accounting.
 """
+from repro.core.cost import CostModel, ProxyCostModel, TrafficCostModel
 from repro.core.footprint import block_space_per_sample
-from repro.core.grouping import exhaustive_grouping, greedy_grouping, initial_grouping
+from repro.core.grouping import (
+    adaptive_grouping,
+    exhaustive_grouping,
+    greedy_grouping,
+    initial_grouping,
+    split_segments,
+)
 from repro.core.policies import POLICIES, make_schedule
 from repro.core.schedule import GroupPlan, Schedule
 from repro.core.subbatch import feasible_sub_batch, iteration_count
-from repro.core.traffic import TrafficOptions, TrafficReport, compute_traffic
+from repro.core.traffic import (
+    TrafficOptions,
+    TrafficReport,
+    block_traffic,
+    compute_traffic,
+)
 
 __all__ = [
+    "CostModel",
     "GroupPlan",
     "POLICIES",
+    "ProxyCostModel",
     "Schedule",
+    "TrafficCostModel",
     "TrafficOptions",
     "TrafficReport",
+    "adaptive_grouping",
     "block_space_per_sample",
+    "block_traffic",
     "compute_traffic",
     "exhaustive_grouping",
     "feasible_sub_batch",
@@ -25,4 +42,5 @@ __all__ = [
     "initial_grouping",
     "iteration_count",
     "make_schedule",
+    "split_segments",
 ]

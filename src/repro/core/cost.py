@@ -1,0 +1,257 @@
+"""Composable per-group scheduling cost models.
+
+The layer-grouping optimizer (:mod:`repro.core.grouping`) scores a
+contiguous partition of the block sequence as::
+
+    sum(model.group_cost(g) for g in groups)
+      + sum(model.boundary_cost(b) for b in interior boundaries)
+
+Two implementations of the :class:`CostModel` protocol exist:
+
+* :class:`ProxyCostModel` — the paper's closed-form objective (weight
+  streaming ``W * (4I - 1)`` per group plus ``3 N out_bytes`` per
+  off-chip boundary).  This is the model the ``mbs1``/``mbs2`` policies
+  optimize, kept bit-exact so their schedules reproduce the paper.
+* :class:`TrafficCostModel` — the byte-accurate model.  Each group is
+  priced by running the *same* per-block walkers that
+  :func:`repro.core.traffic.compute_traffic` uses on a single-group
+  view, so the optimization objective can never drift from the
+  evaluator: for any schedule,
+  ``TrafficCostModel.schedule_cost(sched) ==
+  compute_traffic(net, sched).total_bytes`` exactly.  Boundary traffic
+  (re-reads of a spilled group input, gradient spill/accumulate) is
+  charged to the adjacent blocks by the walkers themselves, so
+  :meth:`TrafficCostModel.boundary_cost` is identically zero.
+
+The adaptive ``mbs-auto`` policy (:mod:`repro.core.policies`) optimizes
+the :class:`TrafficCostModel`, which fixes the tight-buffer regression
+where a fused MBS2 schedule emits more traffic than MBS1: reuse that
+does not pay under the true model is simply not selected.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.schedule import Schedule
+from repro.core.traffic import TrafficOptions, block_traffic
+from repro.graph.network import Network
+from repro.types import WORD_BYTES, ceil_div
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """Scoring interface the grouping optimizer is generic over.
+
+    ``blocks`` are *absolute* network block indices (contiguous);
+    ``sub_batch == 0`` denotes conventional layerwise streaming.
+    ``block_fused`` optionally marks which members actually fit at the
+    group's sub-batch size (``None`` means all fit when ``sub_batch >
+    0``).  Costs are comparable within one model instance only.
+    """
+
+    def group_cost(
+        self,
+        blocks: Sequence[int],
+        sub_batch: int,
+        branch_reuse: bool,
+        block_fused: Sequence[bool] | None = None,
+    ) -> float:
+        """Cost of blocks forming one group at ``sub_batch``."""
+        ...
+
+    def boundary_cost(self, idx: int, branch_reuse: bool) -> float:
+        """Cost of an off-chip boundary after block ``idx``."""
+        ...
+
+
+@dataclass(frozen=True)
+class ProxyCostModel:
+    """The paper's closed-form grouping objective (legacy proxy).
+
+    Scores only the traffic components that obviously depend on the
+    grouping: a group iterating ``I`` times streams its weights ``I``
+    times in forward and ``I`` times for the backward data gradient and
+    touches the weight-gradient partial sums ``2I - 1`` times; an
+    off-chip boundary costs one forward re-read of the boundary tensor
+    plus a backward gradient write and read.
+    """
+
+    weight_bytes: tuple[int, ...]
+    out_bytes: tuple[int, ...]
+    mini_batch: int
+
+    def __post_init__(self) -> None:
+        if len(self.weight_bytes) != len(self.out_bytes):
+            raise ValueError("model arrays must have equal length")
+
+    @classmethod
+    def from_network(
+        cls, net: Network, mini_batch: int, word_bytes: int = WORD_BYTES
+    ) -> "ProxyCostModel":
+        return cls(
+            weight_bytes=tuple(
+                sum(l.param_bytes(word_bytes) for l in b.all_layers())
+                for b in net.blocks
+            ),
+            out_bytes=tuple(b.out_shape.bytes(word_bytes) for b in net.blocks),
+            mini_batch=mini_batch,
+        )
+
+    def group_cost(
+        self,
+        blocks: Sequence[int],
+        sub_batch: int,
+        branch_reuse: bool,
+        block_fused: Sequence[bool] | None = None,
+    ) -> float:
+        iters = ceil_div(self.mini_batch, sub_batch) if sub_batch > 0 else 1
+        weights = sum(self.weight_bytes[b] for b in blocks)
+        return weights * (4 * iters - 1)
+
+    def boundary_cost(self, idx: int, branch_reuse: bool) -> float:
+        return 3.0 * self.mini_batch * self.out_bytes[idx]
+
+
+class _GroupView:
+    """Duck-typed Schedule restricted to one candidate group.
+
+    Exposes exactly the query surface the traffic walkers consume.  Both
+    group edges are off-chip (true for every inter-group boundary of
+    every candidate partition), interior boundaries are on-chip when both
+    neighbouring blocks fuse — identical to
+    :meth:`repro.core.schedule.Schedule.boundary_on_chip` on the
+    assembled schedule.
+    """
+
+    __slots__ = ("mini_batch", "relu_mask", "layer_reuse_bytes",
+                 "_first", "_last", "_fused", "_iterations", "_branch_reuse")
+
+    def __init__(
+        self,
+        blocks: Sequence[int],
+        iterations: int,
+        block_fused: Sequence[bool],
+        branch_reuse: bool,
+        mini_batch: int,
+        relu_mask: bool,
+        layer_reuse_bytes: int,
+    ):
+        self.mini_batch = mini_batch
+        self.relu_mask = relu_mask
+        self.layer_reuse_bytes = layer_reuse_bytes
+        self._first = blocks[0]
+        self._last = blocks[-1]
+        self._fused = tuple(block_fused)
+        self._iterations = iterations
+        self._branch_reuse = branch_reuse
+
+    def iterations_of_block(self, idx: int) -> int:
+        return self._iterations
+
+    def block_fused(self, idx: int) -> bool:
+        if not self._first <= idx <= self._last:
+            return False
+        return self._fused[idx - self._first]
+
+    def boundary_on_chip(self, idx: int) -> bool:
+        if idx < self._first or idx + 1 > self._last:
+            return False
+        return self.block_fused(idx) and self.block_fused(idx + 1)
+
+    def branch_reuse_of(self, idx: int) -> bool:
+        return self._branch_reuse
+
+
+@dataclass(frozen=True)
+class TrafficCostModel:
+    """Byte-accurate cost model built from the traffic walkers.
+
+    ``group_cost`` prices a candidate group by walking each member block
+    with the exact per-layer accounting of
+    :func:`repro.core.traffic.compute_traffic`; block traffic depends
+    only on the block itself, network-structural facts, and the owning
+    group's flags, so per-group sums decompose the schedule total
+    without residue.  ``boundary_cost`` is zero by construction — the
+    walkers charge every off-chip boundary's reads/writes to the blocks
+    on either side.
+    """
+
+    net: Network
+    mini_batch: int
+    relu_mask: bool = True
+    layer_reuse_bytes: int = 0
+    options: TrafficOptions = field(default_factory=TrafficOptions)
+    #: A block's traffic depends only on (iterations, edge on-chip flags,
+    #: fused, branch_reuse) — memoizing on that key collapses the
+    #: adaptive DP's O(n²) group probes into O(n) distinct walks.
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @classmethod
+    def for_schedule(
+        cls, net: Network, sched: Schedule,
+        options: TrafficOptions | None = None,
+    ) -> "TrafficCostModel":
+        """Model whose flags match an existing schedule's environment."""
+        return cls(
+            net=net,
+            mini_batch=sched.mini_batch,
+            relu_mask=sched.relu_mask,
+            layer_reuse_bytes=sched.layer_reuse_bytes,
+            options=options or TrafficOptions(),
+        )
+
+    def group_cost(
+        self,
+        blocks: Sequence[int],
+        sub_batch: int,
+        branch_reuse: bool,
+        block_fused: Sequence[bool] | None = None,
+    ) -> int:
+        if block_fused is None:
+            block_fused = tuple(sub_batch > 0 for _ in blocks)
+        iterations = (
+            ceil_div(self.mini_batch, sub_batch) if sub_batch > 0 else 1
+        )
+        view = _GroupView(
+            blocks, iterations, block_fused, branch_reuse,
+            self.mini_batch, self.relu_mask, self.layer_reuse_bytes,
+        )
+        total = 0
+        last = len(blocks) - 1
+        for pos, idx in enumerate(blocks):
+            fused = block_fused[pos]
+            in_on = pos > 0 and fused and block_fused[pos - 1]
+            out_on = pos < last and fused and block_fused[pos + 1]
+            key = (idx, fused, iterations, in_on, out_on, branch_reuse)
+            nbytes = self._memo.get(key)
+            if nbytes is None:
+                nbytes = self._memo[key] = block_traffic(
+                    self.net, view, idx, self.options
+                ).total_bytes
+            total += nbytes
+        return total
+
+    def boundary_cost(self, idx: int, branch_reuse: bool) -> int:
+        return 0  # boundary traffic is charged to the adjacent blocks
+
+    def streaming_cost(self, idx: int) -> int:
+        """Conventional layerwise streaming of one block (spilled group)."""
+        return self.group_cost((idx,), 0, False, block_fused=(False,))
+
+    def schedule_cost(self, sched: Schedule) -> int:
+        """Exact total of a full schedule via group + boundary components.
+
+        Equals ``compute_traffic(net, sched).total_bytes`` for any
+        schedule whose environment matches this model (asserted for
+        every zoo network × policy in the test suite).
+        """
+        total = 0
+        for g in sched.groups:
+            reuse = sched.branch_reuse_of(g.blocks[0])
+            total += self.group_cost(
+                g.blocks, g.sub_batch, reuse, g.block_fused
+            )
+            if g.blocks[-1] < sched.num_blocks - 1:
+                total += self.boundary_cost(g.blocks[-1], reuse)
+        return total

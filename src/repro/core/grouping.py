@@ -1,70 +1,113 @@
 """Layer grouping: balancing intra-layer weight reuse with inter-layer
 activation reuse (paper Sec. 3, "Layer Grouping Optimizes Reuse").
 
-The cost model scores a partition of the block sequence into contiguous
-groups by the traffic components that actually depend on the grouping:
-
-* weight streaming — a group iterating ``I`` times reads every member
-  weight ``I`` times in forward and ``I`` times for the backward data
-  gradient, and touches the weight-gradient partial sums ``2I − 1`` times
-  (``I`` writes, ``I − 1`` re-reads);
-* group boundaries — an off-chip boundary costs one forward re-read of
-  the boundary tensor plus a backward gradient write and read
-  (the forward *write* is free: the tensor is checkpointed for back
-  propagation regardless).
+A :class:`GroupingProblem` scores a partition of a contiguous block
+window into groups through an injected :class:`repro.core.cost.CostModel`
+— the paper's closed-form proxy (``ProxyCostModel``, the ``mbs1``/``mbs2``
+objective) or the byte-accurate ``TrafficCostModel`` that the adaptive
+``mbs-auto`` policy optimizes.  The optimizers only ever charge
+*interior* boundaries of the window: every partition pays the window's
+outer edges equally, so they cancel out of the comparison.
 
 Greedy merging starts from groups of equal iteration count (the paper's
 initial grouping) and repeatedly applies the best cost-reducing merge of
 adjacent groups.  ``exhaustive_grouping`` solves the same objective
 optimally with an O(n²) dynamic program (the paper's footnote 1 reports
-the gap at roughly 1 %).
+the greedy gap at roughly 1 %).
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.cost import CostModel
 from repro.types import ceil_div
+
+
+def split_segments(feasible: list[int]) -> list[tuple[int, int] | int]:
+    """Split the block sequence at unfusable blocks (feasible == 0).
+
+    Returns a mix of ``(start, end)`` fusable segments (inclusive index
+    ranges) and bare ``int`` indices for blocks that cannot fit even one
+    sample; those must stream layer-by-layer and are never grouped.
+    """
+    out: list[tuple[int, int] | int] = []
+    start: int | None = None
+    for i, s in enumerate(feasible):
+        if s <= 0:
+            if start is not None:
+                out.append((start, i - 1))
+                start = None
+            out.append(i)
+        elif start is None:
+            start = i
+    if start is not None:
+        out.append((start, len(feasible) - 1))
+    return out
 
 
 @dataclass(frozen=True)
 class GroupingProblem:
-    """Arrays describing one network for the grouping optimizer.
+    """One contiguous fusable window of a network, ready to optimize.
 
-    ``feasible[i]``   — max sub-batch of block *i* (>= 1; unfusable blocks
-                        must be split out by the caller before grouping);
-    ``weight_bytes[i]`` — trainable parameter bytes of block *i*;
-    ``out_bytes[i]``  — per-sample bytes of block *i*'s output tensor;
-    ``mini_batch``    — samples per training step.
+    ``feasible[i]``  — max sub-batch of window block *i* (>= 1;
+                       unfusable blocks must be split out by the caller,
+                       see :func:`split_segments`);
+    ``mini_batch``   — samples per training step;
+    ``cost_model``   — scores candidate groups and boundaries;
+    ``blocks``       — absolute network indices of the window (defaults
+                       to ``0..len(feasible)-1`` for standalone use);
+    ``branch_reuse`` — provisioning mode the candidate groups run under,
+                       forwarded to the cost model.
+
+    Method indices (``start``/``end``/``idx``) are *window-relative*.
     """
 
     feasible: tuple[int, ...]
-    weight_bytes: tuple[int, ...]
-    out_bytes: tuple[int, ...]
     mini_batch: int
+    cost_model: CostModel
+    blocks: tuple[int, ...] | None = None
+    branch_reuse: bool = False
 
     def __post_init__(self) -> None:
-        n = len(self.feasible)
-        if not (len(self.weight_bytes) == len(self.out_bytes) == n):
-            raise ValueError("problem arrays must have equal length")
+        if self.blocks is None:
+            object.__setattr__(
+                self, "blocks", tuple(range(len(self.feasible)))
+            )
+        if len(self.blocks) != len(self.feasible):
+            raise ValueError("blocks must align with feasible")
         if any(s <= 0 for s in self.feasible):
             raise ValueError("all blocks must admit a sub-batch of at least 1")
+        # Memo for group_cost: greedy re-scores the same pairs every
+        # round and the DP probes O(n²) windows; the traffic model walks
+        # every member layer per probe, so cache by (start, end).
+        object.__setattr__(self, "_group_cost_memo", {})
+
+    def sub_batch(self, start: int, end: int) -> int:
+        """Sub-batch if blocks ``start..end`` (inclusive) form a group."""
+        return min(self.feasible[start : end + 1])
 
     def iterations(self, start: int, end: int) -> int:
-        """Iteration count if blocks ``start..end`` (inclusive) form a group."""
-        s = min(self.feasible[start : end + 1])
-        return ceil_div(self.mini_batch, s)
+        """Iteration count of the candidate group ``start..end``."""
+        return ceil_div(self.mini_batch, self.sub_batch(start, end))
 
     def group_cost(self, start: int, end: int) -> float:
-        """Weight-streaming cost of one candidate group."""
-        iters = self.iterations(start, end)
-        weights = sum(self.weight_bytes[start : end + 1])
-        return weights * (4 * iters - 1)
+        """Cost of one candidate group under the injected model."""
+        memo = self._group_cost_memo
+        cost = memo.get((start, end))
+        if cost is None:
+            cost = memo[(start, end)] = self.cost_model.group_cost(
+                self.blocks[start : end + 1],
+                self.sub_batch(start, end),
+                self.branch_reuse,
+            )
+        return cost
 
     def boundary_cost(self, idx: int) -> float:
-        """Cost of an off-chip boundary after block ``idx``."""
-        if idx >= len(self.out_bytes) - 1:
-            return 0.0  # the network output is not an inter-group boundary
-        return 3.0 * self.mini_batch * self.out_bytes[idx]
+        """Cost of an off-chip boundary after window block ``idx``."""
+        if idx >= len(self.feasible) - 1:
+            return 0.0  # the window's outer edge is not a partition choice
+        return self.cost_model.boundary_cost(self.blocks[idx],
+                                             self.branch_reuse)
 
     def partition_cost(self, groups: list[tuple[int, int]]) -> float:
         total = 0.0
@@ -113,6 +156,88 @@ def greedy_grouping(problem: GroupingProblem) -> list[tuple[int, int]]:
         s0, _ = groups[best_idx]
         _, e1 = groups[best_idx + 1]
         groups[best_idx : best_idx + 2] = [(s0, e1)]
+    return groups
+
+
+@dataclass(frozen=True)
+class AdaptiveGroup:
+    """One group chosen by :func:`adaptive_grouping`.
+
+    ``branch_reuse is None`` denotes a conventional layerwise-streaming
+    singleton (``sub_batch == 0``); otherwise the group fuses at
+    ``sub_batch`` under the given provisioning mode.
+    """
+
+    start: int  # window-relative, inclusive
+    end: int
+    branch_reuse: bool | None
+    sub_batch: int
+
+
+def adaptive_grouping(
+    blocks: tuple[int, ...],
+    feasible_reuse: tuple[int, ...],
+    feasible_noreuse: tuple[int, ...],
+    mini_batch: int,
+    cost_model: CostModel,
+) -> list[AdaptiveGroup]:
+    """Optimal partition of one window with a per-group provisioning mode.
+
+    Extends the exhaustive DP with a mode choice per group: fused with
+    inter-branch provisioning (MBS2-style, requires every member's
+    ``feasible_reuse >= 1``), fused without (MBS1-style), or a layerwise
+    streaming singleton.  Because the search space contains every
+    partition the fixed ``mbs1``/``mbs2`` policies can emit — including
+    their spilled singletons — the optimum under an *exact* cost model
+    (:class:`repro.core.cost.TrafficCostModel`) is never costlier than
+    either, which is what fixes the tight-buffer MBS2 regression by
+    construction.
+
+    ``blocks`` are the window's absolute network indices; every block
+    must satisfy ``feasible_noreuse >= 1`` (callers split unfusable
+    blocks out via :func:`split_segments` first).
+    """
+    n = len(blocks)
+    if not (len(feasible_reuse) == len(feasible_noreuse) == n):
+        raise ValueError("feasibility arrays must align with blocks")
+    if any(s <= 0 for s in feasible_noreuse):
+        raise ValueError("window blocks must admit a no-reuse sub-batch >= 1")
+
+    best = [0.0] * (n + 1)  # best[j] = min cost of covering blocks 0..j-1
+    choice: list[AdaptiveGroup | None] = [None] * (n + 1)
+    for j in range(1, n + 1):
+        best[j] = float("inf")
+        interior = j - 1 < n - 1  # the window's outer edge is free
+        stream_cost = best[j - 1] + cost_model.group_cost(
+            blocks[j - 1 : j], 0, False, block_fused=(False,)
+        )
+        if interior:
+            stream_cost += cost_model.boundary_cost(blocks[j - 1], False)
+        if stream_cost < best[j]:
+            best[j] = stream_cost
+            choice[j] = AdaptiveGroup(j - 1, j - 1, None, 0)
+        min_r = min_nr = mini_batch
+        for i in range(j - 1, -1, -1):
+            min_r = min(min_r, feasible_reuse[i])
+            min_nr = min(min_nr, feasible_noreuse[i])
+            window = blocks[i:j]
+            for reuse, sub in ((False, min_nr), (True, min_r)):
+                if sub <= 0:
+                    continue  # some member cannot fuse under this mode
+                cost = best[i] + cost_model.group_cost(window, sub, reuse)
+                if interior:
+                    cost += cost_model.boundary_cost(blocks[j - 1], reuse)
+                if cost < best[j]:
+                    best[j] = cost
+                    choice[j] = AdaptiveGroup(i, j - 1, reuse, sub)
+
+    groups: list[AdaptiveGroup] = []
+    j = n
+    while j > 0:
+        g = choice[j]
+        groups.append(g)
+        j = g.start
+    groups.reverse()
     return groups
 
 

@@ -272,7 +272,7 @@ def validate_schedule_occupancy(net, schedule, word_bytes: int = WORD_BYTES):
             continue
         group = schedule.group_of_block(idx)
         peak = peak_occupancy(
-            block, group.sub_batch, schedule.branch_reuse, word_bytes
+            block, group.sub_batch, schedule.branch_reuse_of(idx), word_bytes
         )
         if peak > schedule.buffer_bytes:
             violations.append((block.name, peak, schedule.buffer_bytes))

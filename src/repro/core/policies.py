@@ -1,4 +1,5 @@
-"""Schedule construction for the paper's evaluation configurations (Tab. 3).
+"""Schedule construction for the paper's evaluation configurations
+(Tab. 3) plus the adaptive cost-model-driven policy.
 
 ========  ==========================================================
 Baseline  conventional layer-by-layer mini-batch propagation
@@ -8,56 +9,136 @@ IL        inter-layer reuse only where a whole mini-batch fits on chip
 MBS-FS    fully-serialized MBS: a single sub-batch size for all layers
 MBS1      greedy layer grouping, no inter-branch provisioning
 MBS2      MBS1 + inter-branch data reuse (Eq. 1 / Eq. 2 footprints)
+MBS-AUTO  adaptive: optimal grouping under the byte-accurate
+          ``TrafficCostModel`` with a per-group choice of MBS2-style
+          provisioning, MBS1-style, or layerwise streaming — never
+          costlier than MBS1 or MBS2 at any buffer size
 ========  ==========================================================
 
 ``mbs1-opt`` / ``mbs2-opt`` swap the greedy merge for the exhaustive DP
-(the paper's footnote-1 ablation).
+(the paper's footnote-1 ablation).  ``mbs1``/``mbs2`` optimize the
+paper's closed-form proxy objective (:class:`~repro.core.cost.ProxyCostModel`)
+and reproduce the paper's schedules exactly; ``mbs-auto`` optimizes the
+same byte-accurate model the traffic evaluator is built from
+(:class:`~repro.core.cost.TrafficCostModel`).
 """
 from __future__ import annotations
 
+from repro.core.cost import ProxyCostModel, TrafficCostModel
+from repro.core.traffic import TrafficOptions
 from repro.core.grouping import (
     GroupingProblem,
+    adaptive_grouping,
     exhaustive_grouping,
     greedy_grouping,
+    split_segments,
 )
 from repro.core.schedule import GroupPlan, Schedule, make_group
-from repro.core.subbatch import feasible_sub_batch
+from repro.core.subbatch import per_block_sub_batches
 from repro.graph.network import Network
 from repro.types import MIB, WORD_BYTES
 
 POLICIES = ("baseline", "archopt", "il", "mbs-fs", "mbs1", "mbs2",
-            "mbs1-opt", "mbs2-opt")
+            "mbs1-opt", "mbs2-opt", "mbs-auto")
 
 #: Default per-core global buffer (paper Sec. 4.2).
 DEFAULT_BUFFER_BYTES = 10 * MIB
 
 
-def _segments(feasible: list[int]) -> list[tuple[int, int] | int]:
-    """Split the block sequence at unfusable blocks (feasible == 0).
-
-    Returns a mix of ``(start, end)`` fusable segments and bare ``int``
-    indices for blocks that cannot fit even one sample.
-    """
-    out: list[tuple[int, int] | int] = []
-    start: int | None = None
-    for i, s in enumerate(feasible):
-        if s <= 0:
-            if start is not None:
-                out.append((start, i - 1))
-                start = None
-            out.append(i)
-        elif start is None:
-            start = i
-    if start is not None:
-        out.append((start, len(feasible) - 1))
-    return out
-
-
-def _spilled_group(idx: int, mini_batch: int) -> GroupPlan:
+def _spilled_group(
+    idx: int, mini_batch: int, branch_reuse: bool | None = None
+) -> GroupPlan:
     """Singleton group that streams layer-by-layer (conventional flow)."""
     return GroupPlan(
-        blocks=(idx,), sub_batch=0, iterations=1, block_fused=(False,)
+        blocks=(idx,), sub_batch=0, iterations=1, block_fused=(False,),
+        branch_reuse=branch_reuse,
     )
+
+
+def _proxy_groups(
+    net: Network,
+    feasible: list[int],
+    n_batch: int,
+    word_bytes: int,
+    optimizer,
+) -> list[GroupPlan]:
+    """mbs1/mbs2-style grouping: the proxy objective per fusable segment."""
+    proxy = ProxyCostModel.from_network(net, n_batch, word_bytes)
+    groups: list[GroupPlan] = []
+    for seg in split_segments(feasible):
+        if isinstance(seg, int):
+            groups.append(_spilled_group(seg, n_batch))
+            continue
+        start, end = seg
+        problem = GroupingProblem(
+            feasible=tuple(feasible[start : end + 1]),
+            mini_batch=n_batch,
+            cost_model=proxy,
+            blocks=tuple(range(start, end + 1)),
+        )
+        for g_start, g_end in optimizer(problem):
+            lo, hi = start + g_start, start + g_end
+            s_group = min(feasible[lo : hi + 1])
+            groups.append(
+                make_group(tuple(range(lo, hi + 1)), s_group, n_batch, feasible)
+            )
+    return groups
+
+
+def _auto_groups(
+    net: Network,
+    buffer_bytes: int,
+    n_batch: int,
+    word_bytes: int,
+    feas_reuse: list[int],
+    relu_mask: bool,
+    layer_reuse_bytes: int,
+) -> list[GroupPlan]:
+    """mbs-auto: optimal grouping + per-group mode under the true model.
+
+    Windows are split at blocks that cannot fuse even without
+    provisioning; inside each window the adaptive DP partitions blocks
+    and picks MBS2-style / MBS1-style / streaming per group, scored by
+    the byte-accurate :class:`~repro.core.cost.TrafficCostModel` — the
+    same walkers :func:`~repro.core.traffic.compute_traffic` runs on the
+    finished schedule.
+    """
+    feas_plain = per_block_sub_batches(
+        net, buffer_bytes, n_batch, branch_reuse=False, word_bytes=word_bytes
+    )
+    model = TrafficCostModel(
+        net, n_batch, relu_mask=relu_mask,
+        layer_reuse_bytes=layer_reuse_bytes,
+        options=TrafficOptions(word_bytes=word_bytes),
+    )
+    groups: list[GroupPlan] = []
+    for seg in split_segments(feas_plain):
+        if isinstance(seg, int):
+            # Streams in either mode; record the no-provisioning mode the
+            # DP priced it under so fig. 4-style reports stay honest.
+            groups.append(_spilled_group(seg, n_batch, branch_reuse=False))
+            continue
+        start, end = seg
+        chosen = adaptive_grouping(
+            blocks=tuple(range(start, end + 1)),
+            feasible_reuse=tuple(feas_reuse[start : end + 1]),
+            feasible_noreuse=tuple(feas_plain[start : end + 1]),
+            mini_batch=n_batch,
+            cost_model=model,
+        )
+        for g in chosen:
+            lo, hi = start + g.start, start + g.end
+            if g.branch_reuse is None:
+                groups.append(_spilled_group(lo, n_batch, branch_reuse=False))
+                continue
+            feas = feas_reuse if g.branch_reuse else feas_plain
+            groups.append(
+                make_group(
+                    tuple(range(lo, hi + 1)), g.sub_batch, n_batch, feas,
+                    branch_reuse=g.branch_reuse,
+                )
+            )
+    return groups
 
 
 def make_schedule(
@@ -73,13 +154,13 @@ def make_schedule(
         raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
     n_batch = net.default_mini_batch if mini_batch is None else mini_batch
 
-    branch_reuse = policy in ("il", "mbs2", "mbs2-opt", "mbs-fs")
+    branch_reuse = policy in ("il", "mbs2", "mbs2-opt", "mbs-fs", "mbs-auto")
     relu_mask = policy.startswith("mbs")
+    layer_reuse_bytes = 0 if policy in ("baseline", "archopt") else buffer_bytes
 
-    feasible = [
-        feasible_sub_batch(b, buffer_bytes, n_batch, branch_reuse, word_bytes)
-        for b in net.blocks
-    ]
+    feasible = per_block_sub_batches(
+        net, buffer_bytes, n_batch, branch_reuse, word_bytes
+    )
 
     groups: list[GroupPlan] = []
     if policy in ("baseline", "archopt"):
@@ -102,7 +183,7 @@ def make_schedule(
     elif policy == "mbs-fs":
         fusable = [s for s in feasible if s > 0]
         s_global = min(fusable) if fusable else 0
-        for seg in _segments(feasible):
+        for seg in split_segments(feasible):
             if isinstance(seg, int):
                 groups.append(_spilled_group(seg, n_batch))
             else:
@@ -112,31 +193,18 @@ def make_schedule(
                         tuple(range(start, end + 1)), s_global, n_batch, feasible
                     )
                 )
+    elif policy == "mbs-auto":
+        # ``feasible`` above was computed with branch_reuse=True — reuse
+        # it as the Eq. 1/2 profile; _auto_groups adds the plain one.
+        # The schedule-environment flags are passed through so the DP's
+        # cost model can never diverge from the Schedule it emits.
+        groups = _auto_groups(
+            net, buffer_bytes, n_batch, word_bytes, feasible,
+            relu_mask, layer_reuse_bytes,
+        )
     else:  # mbs1 / mbs2 (+ -opt variants)
         optimizer = exhaustive_grouping if policy.endswith("-opt") else greedy_grouping
-        for seg in _segments(feasible):
-            if isinstance(seg, int):
-                groups.append(_spilled_group(seg, n_batch))
-                continue
-            start, end = seg
-            problem = GroupingProblem(
-                feasible=tuple(feasible[start : end + 1]),
-                weight_bytes=tuple(
-                    sum(l.param_bytes(word_bytes) for l in b.all_layers())
-                    for b in net.blocks[start : end + 1]
-                ),
-                out_bytes=tuple(
-                    b.out_shape.bytes(word_bytes)
-                    for b in net.blocks[start : end + 1]
-                ),
-                mini_batch=n_batch,
-            )
-            for g_start, g_end in optimizer(problem):
-                lo, hi = start + g_start, start + g_end
-                s_group = min(feasible[lo : hi + 1])
-                groups.append(
-                    make_group(tuple(range(lo, hi + 1)), s_group, n_batch, feasible)
-                )
+        groups = _proxy_groups(net, feasible, n_batch, word_bytes, optimizer)
 
     return Schedule(
         policy=policy,
@@ -146,5 +214,5 @@ def make_schedule(
         branch_reuse=branch_reuse,
         relu_mask=relu_mask,
         groups=tuple(groups),
-        layer_reuse_bytes=0 if policy in ("baseline", "archopt") else buffer_bytes,
+        layer_reuse_bytes=layer_reuse_bytes,
     )

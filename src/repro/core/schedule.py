@@ -17,12 +17,19 @@ class GroupPlan:
     a group degrades to layerwise streaming while its neighbours still
     fuse (this only occurs in the IL configuration, where the sub-batch is
     pinned to the full mini-batch).
+
+    ``branch_reuse`` optionally overrides the schedule-wide provisioning
+    mode for this group: the adaptive ``mbs-auto`` policy mixes
+    MBS2-style (Eq. 1/2) and MBS1-style groups in one schedule.  ``None``
+    (the default, and the only value the fixed policies emit) defers to
+    :attr:`Schedule.branch_reuse`.
     """
 
     blocks: tuple[int, ...]
     sub_batch: int
     iterations: int
     block_fused: tuple[bool, ...]
+    branch_reuse: bool | None = None
 
     def __post_init__(self) -> None:
         if len(self.blocks) != len(self.block_fused):
@@ -76,6 +83,13 @@ class Schedule:
         g = self.group_of_block(block_idx)
         return g.block_fused[block_idx - g.blocks[0]]
 
+    def branch_reuse_of(self, block_idx: int) -> bool:
+        """Provisioning mode governing ``block_idx``: the owning group's
+        override when set (mixed-mode ``mbs-auto`` schedules), else the
+        schedule-wide :attr:`branch_reuse` flag."""
+        g = self.group_of_block(block_idx)
+        return self.branch_reuse if g.branch_reuse is None else g.branch_reuse
+
     def boundary_on_chip(self, block_idx: int) -> bool:
         """True when the tensor between ``block_idx`` and its successor
         stays in the global buffer (same group, both sides fused)."""
@@ -111,6 +125,7 @@ def make_group(
     sub_batch: int,
     mini_batch: int,
     feasible: list[int],
+    branch_reuse: bool | None = None,
 ) -> GroupPlan:
     """Construct a group, marking which member blocks actually fit."""
     fused = tuple(
@@ -122,4 +137,5 @@ def make_group(
         sub_batch=sub_batch,
         iterations=iterations,
         block_fused=fused,
+        branch_reuse=branch_reuse,
     )

@@ -204,7 +204,7 @@ def _fwd_fused(
     iters = sched.iterations_of_block(idx)
     in_on_chip = sched.boundary_on_chip(idx - 1)
     out_on_chip = sched.boundary_on_chip(idx)
-    branch_reuse = sched.branch_reuse
+    branch_reuse = sched.branch_reuse_of(idx)
     concat_spill = block.merge is MergeKind.CONCAT and not branch_reuse
 
     in_bytes = block.in_shape.bytes(wb) * n
@@ -290,7 +290,7 @@ def _bwd_fused(
     iters = sched.iterations_of_block(idx)
     in_on_chip = sched.boundary_on_chip(idx - 1)
     out_on_chip = sched.boundary_on_chip(idx)
-    branch_reuse = sched.branch_reuse
+    branch_reuse = sched.branch_reuse_of(idx)
     concat_spill = block.merge is MergeKind.CONCAT and not branch_reuse
     last_block = idx == len(net.blocks) - 1
 
@@ -643,6 +643,32 @@ def _bwd_unfused(
 # ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
+
+def block_traffic(
+    net: Network,
+    sched,
+    idx: int,
+    options: TrafficOptions | None = None,
+) -> TrafficReport:
+    """Both-phase traffic of block ``idx`` alone.
+
+    ``sched`` may be any object exposing the Schedule query surface
+    (``mini_batch``, ``relu_mask``, ``layer_reuse_bytes``,
+    ``iterations_of_block``, ``block_fused``, ``boundary_on_chip``,
+    ``branch_reuse_of``) — the cost model in :mod:`repro.core.cost`
+    passes a single-group view so the grouping optimizer prices
+    candidates with *exactly* these walkers.
+    """
+    opt = options or TrafficOptions()
+    rep = TrafficReport()
+    if sched.block_fused(idx):
+        _fwd_fused(rep, net, sched, idx, opt)
+        _bwd_fused(rep, net, sched, idx, opt)
+    else:
+        _fwd_unfused(rep, net, sched, idx, opt)
+        _bwd_unfused(rep, net, sched, idx, opt)
+    return rep
+
 
 def compute_traffic(
     net: Network,

@@ -21,9 +21,12 @@ def run(
     policy: str = "mbs2",
 ) -> dict:
     net = network(net_name)
-    branch_reuse = policy in ("mbs2", "mbs2-opt")
+    sched = make_schedule(net, policy, buffer_bytes, mini_batch)
     blocks = []
-    for block in net.blocks:
+    for idx, block in enumerate(net.blocks):
+        # Each row reflects the provisioning mode that actually governs
+        # the block: mbs-auto mixes MBS1/MBS2-style groups per schedule.
+        branch_reuse = sched.branch_reuse_of(idx)
         space = block_space_per_sample(block, branch_reuse)
         s = feasible_sub_batch(block, buffer_bytes, mini_batch, branch_reuse)
         blocks.append(
@@ -34,7 +37,6 @@ def run(
                 "min_iterations": iteration_count(mini_batch, s),
             }
         )
-    sched = make_schedule(net, policy, buffer_bytes, mini_batch)
     groups = [
         {
             "blocks": g.blocks,
@@ -97,7 +99,7 @@ SPEC = register(ExperimentSpec(
     produce=run,
     render=render,
     sweep={
-        "policy": ("mbs1", "mbs2"),
+        "policy": ("mbs1", "mbs2", "mbs-auto"),
         "mini_batch": (16, 32, 64),
     },
     artifact=("network", "mini_batch", "blocks", "groups"),

@@ -1,5 +1,6 @@
 """Headline numbers: the abstract's 75 % DRAM-traffic cut, 53 % speedup,
-26 % energy saving (deep-CNN averages), and the Sec. 3 4.0× traffic cut."""
+26 % energy saving (deep-CNN averages), and the Sec. 3 4.0× traffic cut —
+plus what the adaptive ``mbs-auto`` policy buys on top of MBS2."""
 from __future__ import annotations
 
 from repro.experiments.common import evaluate
@@ -16,12 +17,15 @@ def run(networks: tuple[str, ...] = DEEP_CNNS) -> dict:
         base = evaluate(name, "baseline")
         arch = evaluate(name, "archopt")
         mbs2 = evaluate(name, "mbs2")
+        auto = evaluate(name, "mbs-auto")
         per_net[name] = {
             "traffic_saving": 1.0 - mbs2.dram_bytes / arch.dram_bytes,
             "traffic_cut_x": arch.dram_bytes / mbs2.dram_bytes,
             "speedup_vs_baseline": base.time_s / mbs2.time_s,
             "perf_improvement": base.time_s / mbs2.time_s - 1.0,
             "energy_saving": 1.0 - mbs2.energy.total_j / base.energy.total_j,
+            "auto_traffic_cut_x": arch.dram_bytes / auto.dram_bytes,
+            "auto_vs_mbs2_x": mbs2.dram_bytes / auto.dram_bytes,
         }
     n = len(per_net)
     avg = {
@@ -32,26 +36,22 @@ def run(networks: tuple[str, ...] = DEEP_CNNS) -> dict:
 
 
 def render(res: dict) -> None:
-    rows = [
-        [
+    def _row(name, v):
+        return [
             name,
             fmt(v["traffic_saving"] * 100, 1) + "%",
             fmt(v["traffic_cut_x"]) + "x",
             fmt(v["perf_improvement"] * 100, 1) + "%",
             fmt(v["energy_saving"] * 100, 1) + "%",
+            fmt(v["auto_traffic_cut_x"]) + "x",
+            fmt(v["auto_vs_mbs2_x"]) + "x",
         ]
-        for name, v in res["per_network"].items()
-    ]
-    a = res["average"]
-    rows.append([
-        "AVERAGE",
-        fmt(a["traffic_saving"] * 100, 1) + "%",
-        fmt(a["traffic_cut_x"]) + "x",
-        fmt(a["perf_improvement"] * 100, 1) + "%",
-        fmt(a["energy_saving"] * 100, 1) + "%",
-    ])
+
+    rows = [_row(name, v) for name, v in res["per_network"].items()]
+    rows.append(_row("AVERAGE", res["average"]))
     print(format_table(
-        ["network", "DRAM saving", "traffic cut", "perf gain", "energy saving"],
+        ["network", "DRAM saving", "traffic cut", "perf gain",
+         "energy saving", "auto cut", "auto/mbs2"],
         rows,
         title=(
             "Headline — MBS2 vs conventional training "

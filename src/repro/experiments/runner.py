@@ -10,11 +10,18 @@ Subcommands::
 
     mbs-repro run <artifact> [--set k=v ...] [--quick] [--no-cache]
     mbs-repro all [--jobs N] [--only a,b] [--full] [--out DIR]
+    mbs-repro all --render-from-cache [--only a,b] [--out DIR]
     mbs-repro sweep <artifact> [--set axis=v1,v2,... ...] [--jobs N]
     mbs-repro bench [--only a,b] [--json PATH]
     mbs-repro schedule <network> [policy] [buffer MiB]
     mbs-repro export [results.json] [--full] [--jobs N]
     mbs-repro list
+
+``all --render-from-cache`` replays the stored manifests without any
+recomputation (a spec whose manifest is missing is reported, not run);
+with ``--out DIR`` it *diffs* each stored manifest against
+``DIR/<spec>.json`` instead of overwriting, so regenerated figure dumps
+can be checked for staleness.
 
 Common flags: ``--jobs N`` worker processes (default 1 = serial),
 ``--no-cache`` force recomputation, ``--cache-dir DIR`` cache root
@@ -38,9 +45,11 @@ from repro.experiments import ALL_EXPERIMENTS
 from repro.runtime import (
     ResultCache,
     Task,
+    code_fingerprint,
     get_spec,
     manifest_bytes,
     run_tasks,
+    task_key,
 )
 
 SUBCOMMANDS = ("run", "all", "sweep", "bench", "schedule", "export", "list")
@@ -54,7 +63,10 @@ def _schedule_command(rest: list[str]) -> int:
     from repro.zoo import build
 
     if not rest:
+        from repro.core.policies import POLICIES
+
         print("usage: mbs-repro schedule <network> [policy] [buffer MiB]")
+        print(f"policies: {' '.join(POLICIES)}  (default: mbs2)")
         return 2
     net = build(rest[0])
     policy = rest[1] if len(rest) > 1 else "mbs2"
@@ -125,6 +137,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="disable the specs' --quick parameter overrides")
     p.add_argument("--summary", action="store_true",
                    help="suppress rendered figures, print the table only")
+    p.add_argument("--render-from-cache", action="store_true",
+                   help="replay stored manifests without recomputation; "
+                        "with --out, diff against DIR instead of writing")
     _add_engine_flags(p)
 
     p = sub.add_parser("sweep", help="run an experiment's parameter grid")
@@ -237,12 +252,67 @@ def _select_specs(only: str | None):
     return [get_spec(n) for n in names]
 
 
+def _render_from_cache(specs, args) -> int:
+    """Replay cached manifests; optionally diff them against ``--out``.
+
+    Never recomputes: a spec without a stored manifest for the current
+    parameters + code fingerprint is reported as ``missing``.  With
+    ``--out DIR`` each manifest's canonical bytes are compared against
+    ``DIR/<spec>.json`` (``match`` / ``differs`` / ``no-file``) instead
+    of overwriting — the staleness check behind EXPERIMENTS.md
+    regeneration.  Exit code is 0 only when everything is cached and,
+    if diffing, everything matches.
+    """
+    from repro.experiments.tables import format_table
+
+    cache = _make_cache(args)
+    fp = code_fingerprint()
+    out_dir = Path(args.out) if args.out else None
+    rows = []
+    ok = True
+    for spec in specs:
+        params = Task(spec, {}, quick=not args.full).params()
+        key = task_key(spec, params, fingerprint=fp)
+        manifest = cache.lookup(spec.name, key)
+        if manifest is None:
+            rows.append([spec.name, "missing", key, "-"])
+            ok = False
+            continue
+        if not args.summary:
+            print(f"\n{'=' * 72}\n== {spec.name}\n{'=' * 72}")
+            print(manifest.get("rendered", ""), end="")
+        diff = "-"
+        if out_dir is not None:
+            target = out_dir / f"{spec.name}.json"
+            if not target.exists():
+                diff = "no-file"
+                ok = False
+            elif target.read_bytes() == manifest_bytes(manifest):
+                diff = "match"
+            else:
+                diff = "differs"
+                ok = False
+        rows.append([spec.name, "cached", key, diff])
+    print()
+    print(format_table(
+        ["artifact", "status", "key", "diff vs --out"], rows,
+        title="render-from-cache summary",
+    ))
+    return 0 if ok else 1
+
+
 def _cmd_all(args) -> int:
     try:
         specs = _select_specs(args.only)
     except SystemExit as exc:
         print(exc, file=sys.stderr)
         return 2
+    if args.render_from_cache:
+        if args.no_cache:
+            print("--render-from-cache contradicts --no-cache: the mode "
+                  "never recomputes", file=sys.stderr)
+            return 2
+        return _render_from_cache(specs, args)
     tasks = [Task(spec, {}, quick=not args.full) for spec in specs]
     results = run_tasks(
         tasks, jobs=args.jobs, cache=_make_cache(args),

@@ -1,30 +1,59 @@
-"""Unit and property tests for layer grouping."""
+"""Unit and property tests for layer grouping and segment splitting."""
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.cost import ProxyCostModel
 from repro.core.grouping import (
     GroupingProblem,
+    adaptive_grouping,
     exhaustive_grouping,
     greedy_grouping,
     initial_grouping,
+    split_segments,
 )
 
 
 def make_problem(feasible, weights=None, outs=None, n=32):
     k = len(feasible)
-    return GroupingProblem(
-        feasible=tuple(feasible),
+    model = ProxyCostModel(
         weight_bytes=tuple(weights or [1000] * k),
         out_bytes=tuple(outs or [500] * k),
         mini_batch=n,
     )
+    return GroupingProblem(
+        feasible=tuple(feasible), mini_batch=n, cost_model=model
+    )
+
+
+class TestSplitSegments:
+    def test_all_fusable_is_one_segment(self):
+        assert split_segments([4, 2, 8]) == [(0, 2)]
+
+    def test_unfusable_block_splits_and_is_isolated(self):
+        assert split_segments([4, 0, 8, 2]) == [(0, 0), 1, (2, 3)]
+
+    def test_unfusable_edges(self):
+        assert split_segments([0, 4, 0]) == [0, (1, 1), 2]
+
+    def test_adjacent_unfusable_blocks(self):
+        assert split_segments([2, 0, 0, 3]) == [(0, 0), 1, 2, (3, 3)]
+
+    def test_nothing_fusable(self):
+        assert split_segments([0, 0]) == [0, 1]
+
+    def test_empty(self):
+        assert split_segments([]) == []
 
 
 class TestProblem:
     def test_length_mismatch_raises(self):
+        model = ProxyCostModel((1,), (1,), 32)
         with pytest.raises(ValueError):
-            GroupingProblem((1, 2), (1,), (1, 2), 32)
+            GroupingProblem(
+                feasible=(1, 2), mini_batch=32, cost_model=model,
+                blocks=(0,),
+            )
 
     def test_zero_feasible_raises(self):
         with pytest.raises(ValueError):
@@ -45,6 +74,19 @@ class TestProblem:
         p = make_problem([4, 4])
         assert p.boundary_cost(1) == 0.0
         assert p.boundary_cost(0) == 3.0 * 32 * 500
+
+    def test_window_blocks_index_the_model_absolutely(self):
+        """A problem over a mid-network window must price the window's
+        own blocks, not blocks 0..n-1."""
+        model = ProxyCostModel(
+            weight_bytes=(10**9, 100, 200), out_bytes=(10**9, 7, 11),
+            mini_batch=32,
+        )
+        p = GroupingProblem(
+            feasible=(4, 4), mini_batch=32, cost_model=model, blocks=(1, 2)
+        )
+        assert p.group_cost(0, 1) == (100 + 200) * 31
+        assert p.boundary_cost(0) == 3.0 * 32 * 7
 
 
 class TestInitialGrouping:
@@ -126,6 +168,40 @@ class TestExhaustive:
         n = len(spec)
         assert best <= p.partition_cost([(i, i) for i in range(n)]) + 1e-9
         assert best <= p.partition_cost([(0, n - 1)]) + 1e-9
+
+
+class TestAdaptive:
+    def test_rejects_misaligned_arrays(self):
+        model = ProxyCostModel((1, 1), (1, 1), 32)
+        with pytest.raises(ValueError):
+            adaptive_grouping((0, 1), (1,), (1, 1), 32, model)
+
+    def test_rejects_unfusable_window_block(self):
+        model = ProxyCostModel((1, 1), (1, 1), 32)
+        with pytest.raises(ValueError):
+            adaptive_grouping((0, 1), (1, 1), (1, 0), 32, model)
+
+    def test_partition_covers_window(self):
+        model = ProxyCostModel(
+            weight_bytes=(10, 20, 5000, 80), out_bytes=(500,) * 4,
+            mini_batch=32,
+        )
+        groups = adaptive_grouping(
+            (0, 1, 2, 3), (0, 2, 4, 8), (1, 4, 8, 16), 32, model
+        )
+        covered = [i for g in groups for i in range(g.start, g.end + 1)]
+        assert covered == [0, 1, 2, 3]
+        for g in groups:
+            assert (g.sub_batch == 0) == (g.branch_reuse is None)
+
+    def test_reuse_group_never_includes_reuse_infeasible_block(self):
+        model = ProxyCostModel((100,) * 3, (500,) * 3, 32)
+        groups = adaptive_grouping(
+            (0, 1, 2), (2, 0, 2), (4, 4, 4), 32, model
+        )
+        for g in groups:
+            if g.branch_reuse:
+                assert all(i != 1 for i in range(g.start, g.end + 1))
 
 
 def test_resnet50_greedy_gap_small(rn50):

@@ -28,7 +28,7 @@ def chain_networks(draw):
 @settings(max_examples=40, deadline=None)
 @given(chain_networks(), st.integers(8, 4096))
 def test_traffic_positive_and_consistent(net, buffer_kib):
-    for policy in ("baseline", "il", "mbs-fs", "mbs2"):
+    for policy in ("baseline", "il", "mbs-fs", "mbs2", "mbs-auto"):
         rep = compute_traffic(net, make_schedule(net, policy,
                                                  buffer_bytes=buffer_kib * KIB))
         assert rep.total_bytes > 0
@@ -59,17 +59,27 @@ def test_mbs2_traffic_monotone_in_buffer_residual(buffer_kib):
     assert large.total_bytes <= small.total_bytes
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=40, deadline=None)
 @given(st.sampled_from([toy_residual, toy_inception]),
-       st.integers(64, 2048))
-def test_branch_reuse_saves_traffic_on_modules(builder, buffer_kib):
-    """MBS2 <= MBS1 on multi-branch networks (Sec. 3's 20% claim)."""
+       st.integers(16, 4096))
+def test_auto_never_exceeds_mbs1_or_mbs2(builder, buffer_kib):
+    """mbs-auto <= min(mbs1, mbs2) across the *full* buffer range.
+
+    This replaces the old regime-scoped ``mbs2 <= mbs1`` claim: at very
+    tight buffers (the ~16 KiB counterexample, included in this range)
+    MBS2's larger footprint can force smaller sub-batches and *more*
+    traffic than MBS1.  The adaptive policy optimizes the byte-accurate
+    cost model, so reuse that doesn't pay is simply not selected and the
+    ordering holds everywhere by construction.
+    """
     net = builder()
+    auto = compute_traffic(net, make_schedule(net, "mbs-auto",
+                                              buffer_bytes=buffer_kib * KIB))
     m1 = compute_traffic(net, make_schedule(net, "mbs1",
                                             buffer_bytes=buffer_kib * KIB))
     m2 = compute_traffic(net, make_schedule(net, "mbs2",
                                             buffer_bytes=buffer_kib * KIB))
-    assert m2.total_bytes <= m1.total_bytes
+    assert auto.total_bytes <= min(m1.total_bytes, m2.total_bytes)
 
 
 @settings(max_examples=30, deadline=None)

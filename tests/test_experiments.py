@@ -123,6 +123,7 @@ class TestHeadline:
         assert set(avg) == {
             "traffic_saving", "traffic_cut_x", "speedup_vs_baseline",
             "perf_improvement", "energy_saving",
+            "auto_traffic_cut_x", "auto_vs_mbs2_x",
         }
 
 

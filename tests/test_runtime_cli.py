@@ -129,6 +129,53 @@ class TestAllSubcommand:
         assert set(manifest) >= {"spec", "key", "fingerprint", "params",
                                  "artifact", "rendered"}
 
+    def test_render_from_cache_replays_without_recompute(
+            self, capsys, tmp_path, cache_dir):
+        out = tmp_path / "artifacts"
+        assert main(["all", "--only", "tab2", "--summary",
+                     "--out", str(out), "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        # replay: renders come back from the manifest and diff matches
+        assert main(["all", "--only", "tab2", "--render-from-cache",
+                     "--out", str(out), "--cache-dir", cache_dir]) == 0
+        replay = capsys.readouterr().out
+        assert "Tab. 2" in replay and "match" in replay
+
+    def test_render_from_cache_rejects_no_cache(self, capsys, cache_dir):
+        assert main(["all", "--only", "tab2", "--render-from-cache",
+                     "--no-cache", "--cache-dir", cache_dir]) == 2
+        assert "contradicts" in capsys.readouterr().err
+
+    def test_render_from_cache_reports_missing_manifest(
+            self, capsys, cache_dir):
+        assert main(["all", "--only", "tab2", "--render-from-cache",
+                     "--cache-dir", cache_dir]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_render_from_cache_detects_stale_out_file(
+            self, capsys, tmp_path, cache_dir):
+        out = tmp_path / "artifacts"
+        assert main(["all", "--only", "tab2", "--summary",
+                     "--out", str(out), "--cache-dir", cache_dir]) == 0
+        (out / "tab2.json").write_text("{}\n")
+        capsys.readouterr()
+        assert main(["all", "--only", "tab2", "--render-from-cache",
+                     "--summary", "--out", str(out),
+                     "--cache-dir", cache_dir]) == 1
+        assert "differs" in capsys.readouterr().out
+
+    def test_render_from_cache_flags_absent_out_file(
+            self, capsys, tmp_path, cache_dir):
+        out = tmp_path / "artifacts"
+        out.mkdir()
+        assert main(["all", "--only", "tab2", "--summary",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["all", "--only", "tab2", "--render-from-cache",
+                     "--summary", "--out", str(out),
+                     "--cache-dir", cache_dir]) == 1
+        assert "no-file" in capsys.readouterr().out
+
     def test_parallel_serial_parity_and_cache_hits(self, capsys, tmp_path):
         """Acceptance: `all --jobs 4` == serial manifests byte-for-byte,
         and a second invocation completes via cache hits only."""
