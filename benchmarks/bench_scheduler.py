@@ -34,6 +34,17 @@ def test_bench_adaptive_auto_schedule(benchmark, inc4):
     assert sched.num_blocks == len(inc4.blocks)
 
 
+def test_bench_adaptive_auto_latency_schedule(benchmark, inc4):
+    """The latency objective walks traffic AND prices GEMM timings per
+    candidate group — this tracks what simulated seconds cost over
+    simulated bytes."""
+    sched = benchmark(
+        make_schedule, inc4, "mbs-auto", objective="latency"
+    )
+    assert sched.num_blocks == len(inc4.blocks)
+    assert sched.objective == "latency"
+
+
 def test_bench_traffic_cost_model_full_schedule(benchmark, inc4):
     """Pricing a complete schedule through the cost model (cold memo)."""
     sched = make_schedule(inc4, "mbs-auto")

@@ -4,7 +4,12 @@ Pipeline: per-block per-sample space (Eq. 1 / Eq. 2) → feasible sub-batch
 sizes → layer grouping (greedy merge or exhaustive DP) → schedule →
 DRAM/global-buffer traffic accounting.
 """
-from repro.core.cost import CostModel, ProxyCostModel, TrafficCostModel
+from repro.core.cost import (
+    CostModel,
+    LatencyCostModel,
+    ProxyCostModel,
+    TrafficCostModel,
+)
 from repro.core.footprint import block_space_per_sample
 from repro.core.grouping import (
     adaptive_grouping,
@@ -13,8 +18,9 @@ from repro.core.grouping import (
     initial_grouping,
     split_segments,
 )
-from repro.core.policies import POLICIES, make_schedule
+from repro.core.policies import OBJECTIVES, POLICIES, make_schedule
 from repro.core.schedule import GroupPlan, Schedule
+from repro.core.steptime import block_step_time, schedule_step_time
 from repro.core.subbatch import feasible_sub_batch, iteration_count
 from repro.core.traffic import (
     TrafficOptions,
@@ -26,6 +32,8 @@ from repro.core.traffic import (
 __all__ = [
     "CostModel",
     "GroupPlan",
+    "LatencyCostModel",
+    "OBJECTIVES",
     "POLICIES",
     "ProxyCostModel",
     "Schedule",
@@ -34,6 +42,7 @@ __all__ = [
     "TrafficReport",
     "adaptive_grouping",
     "block_space_per_sample",
+    "block_step_time",
     "block_traffic",
     "compute_traffic",
     "exhaustive_grouping",
@@ -42,5 +51,6 @@ __all__ = [
     "initial_grouping",
     "iteration_count",
     "make_schedule",
+    "schedule_step_time",
     "split_segments",
 ]

@@ -27,6 +27,19 @@ The adaptive ``mbs-auto`` policy (:mod:`repro.core.policies`) optimizes
 the :class:`TrafficCostModel`, which fixes the tight-buffer regression
 where a fused MBS2 schedule emits more traffic than MBS1: reuse that
 does not pay under the true model is simply not selected.
+
+A third implementation prices *seconds* instead of bytes:
+
+* :class:`LatencyCostModel` — simulated step time.  Each member block is
+  priced by :func:`repro.core.steptime.block_step_time`, which runs the
+  same traffic walkers *and* the same per-layer WaveCore timing
+  (``max(compute, DRAM)`` under weight double buffering) that
+  :func:`repro.wavecore.simulator.simulate_step` runs, so
+  ``schedule_cost(sched) == simulate_step(net, sched, cfg).time_s``
+  bit-for-bit.  Because per-layer time saturates at the compute floor,
+  extra DRAM traffic on compute-bound layers is free in time but not in
+  bytes — the two objectives genuinely diverge on tight buffers, and
+  ``mbs-auto --objective latency`` exists to exploit that.
 """
 from __future__ import annotations
 
@@ -34,9 +47,11 @@ from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.core.schedule import Schedule
+from repro.core.steptime import block_step_time, schedule_step_time
 from repro.core.traffic import TrafficOptions, block_traffic
 from repro.graph.network import Network
 from repro.types import WORD_BYTES, ceil_div
+from repro.wavecore.config import DEFAULT_CONFIG, WaveCoreConfig
 
 
 @runtime_checkable
@@ -163,6 +178,55 @@ class _GroupView:
         return self._branch_reuse
 
 
+def _memoized_group_cost(
+    model,
+    blocks: Sequence[int],
+    sub_batch: int,
+    branch_reuse: bool,
+    block_fused: Sequence[bool] | None,
+    price,
+    key_has_sub: bool,
+    zero,
+):
+    """Shared group-pricing loop of the walker-backed cost models.
+
+    Builds the single-group :class:`_GroupView`, then prices each member
+    through ``price(view, idx, eff_sub)``, memoized in ``model._memo``
+    on the exact facts the walkers consume — with the view itself as the
+    sole authority on edge on-chip flags, so the memo key can never
+    disagree with what a walk actually saw.  ``key_has_sub`` extends the
+    key with the effective sub-batch for models whose price depends on
+    the iteration *sequence* (compute time does; byte counts depend only
+    on the iteration count).  Accumulation starts from ``zero`` and runs
+    in member order, keeping int sums exact and float association
+    reproducible.
+    """
+    if block_fused is None:
+        block_fused = tuple(sub_batch > 0 for _ in blocks)
+    iterations = (
+        ceil_div(model.mini_batch, sub_batch) if sub_batch > 0 else 1
+    )
+    view = _GroupView(
+        blocks, iterations, block_fused, branch_reuse,
+        model.mini_batch, model.relu_mask, model.layer_reuse_bytes,
+    )
+    memo = model._memo
+    total = zero
+    for pos, idx in enumerate(blocks):
+        fused = block_fused[pos]
+        eff_sub = sub_batch if fused else 0
+        in_on = view.boundary_on_chip(idx - 1)
+        out_on = view.boundary_on_chip(idx)
+        key = (idx, fused, iterations, in_on, out_on, branch_reuse)
+        if key_has_sub:
+            key += (eff_sub,)
+        value = memo.get(key)
+        if value is None:
+            value = memo[key] = price(view, idx, eff_sub)
+        total += value
+    return total
+
+
 @dataclass(frozen=True)
 class TrafficCostModel:
     """Byte-accurate cost model built from the traffic walkers.
@@ -208,29 +272,14 @@ class TrafficCostModel:
         branch_reuse: bool,
         block_fused: Sequence[bool] | None = None,
     ) -> int:
-        if block_fused is None:
-            block_fused = tuple(sub_batch > 0 for _ in blocks)
-        iterations = (
-            ceil_div(self.mini_batch, sub_batch) if sub_batch > 0 else 1
+        return _memoized_group_cost(
+            self, blocks, sub_batch, branch_reuse, block_fused,
+            price=lambda view, idx, eff_sub: block_traffic(
+                self.net, view, idx, self.options
+            ).total_bytes,
+            key_has_sub=False,
+            zero=0,
         )
-        view = _GroupView(
-            blocks, iterations, block_fused, branch_reuse,
-            self.mini_batch, self.relu_mask, self.layer_reuse_bytes,
-        )
-        total = 0
-        last = len(blocks) - 1
-        for pos, idx in enumerate(blocks):
-            fused = block_fused[pos]
-            in_on = pos > 0 and fused and block_fused[pos - 1]
-            out_on = pos < last and fused and block_fused[pos + 1]
-            key = (idx, fused, iterations, in_on, out_on, branch_reuse)
-            nbytes = self._memo.get(key)
-            if nbytes is None:
-                nbytes = self._memo[key] = block_traffic(
-                    self.net, view, idx, self.options
-                ).total_bytes
-            total += nbytes
-        return total
 
     def boundary_cost(self, idx: int, branch_reuse: bool) -> int:
         return 0  # boundary traffic is charged to the adjacent blocks
@@ -255,3 +304,98 @@ class TrafficCostModel:
             if g.blocks[-1] < sched.num_blocks - 1:
                 total += self.boundary_cost(g.blocks[-1], reuse)
         return total
+
+
+@dataclass(frozen=True)
+class LatencyCostModel:
+    """Simulated-step-time cost model (seconds, not bytes).
+
+    ``group_cost`` prices a candidate group by simulating each member
+    block with the exact per-layer contract of
+    :func:`repro.wavecore.simulator.simulate_step`: DRAM bytes from the
+    traffic walkers, compute cycles from the systolic/vector timing
+    model under ``cfg`` (including the weight-double-buffering wave
+    overlap), combined as ``max(compute, DRAM)`` per layer.  A block's
+    time depends only on the block plus its owning group's facts, so
+    per-group sums decompose the step time the same way
+    :class:`TrafficCostModel` decomposes bytes; ``boundary_cost`` is
+    identically zero because boundary *traffic* is charged to the
+    adjacent blocks by the walkers and an off-chip boundary has no
+    compute of its own.
+
+    Costs are seconds and comparable only across candidates priced by
+    one instance (fixed network, mini-batch, hardware config).
+    """
+
+    net: Network
+    mini_batch: int
+    relu_mask: bool = True
+    layer_reuse_bytes: int = 0
+    cfg: WaveCoreConfig = DEFAULT_CONFIG
+    options: TrafficOptions = field(default_factory=TrafficOptions)
+    #: Memoized per-block simulated times.  Compute time depends on the
+    #: effective sub-batch (the iteration sequence shapes the GEMMs) and
+    #: traffic on the group flags, so the key extends the traffic memo's
+    #: with ``sub_batch``.
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @classmethod
+    def for_schedule(
+        cls, net: Network, sched: Schedule,
+        cfg: WaveCoreConfig | None = None,
+        options: TrafficOptions | None = None,
+    ) -> "LatencyCostModel":
+        """Model whose flags match an existing schedule's environment."""
+        from repro.wavecore.config import config_for_policy
+
+        return cls(
+            net=net,
+            mini_batch=sched.mini_batch,
+            relu_mask=sched.relu_mask,
+            layer_reuse_bytes=sched.layer_reuse_bytes,
+            cfg=cfg if cfg is not None else config_for_policy(sched.policy),
+            options=options or TrafficOptions(),
+        )
+
+    def group_cost(
+        self,
+        blocks: Sequence[int],
+        sub_batch: int,
+        branch_reuse: bool,
+        block_fused: Sequence[bool] | None = None,
+    ) -> float:
+        return _memoized_group_cost(
+            self, blocks, sub_batch, branch_reuse, block_fused,
+            price=lambda view, idx, eff_sub: block_step_time(
+                self.net, view, idx, eff_sub, self.cfg, self.options
+            ),
+            key_has_sub=True,
+            zero=0.0,
+        )
+
+    def boundary_cost(self, idx: int, branch_reuse: bool) -> float:
+        return 0.0  # boundary traffic is charged to the adjacent blocks
+
+    def streaming_cost(self, idx: int) -> float:
+        """Conventional layerwise streaming of one block (spilled group)."""
+        return self.group_cost((idx,), 0, False, block_fused=(False,))
+
+    def schedule_cost(self, sched: Schedule) -> float:
+        """Exact simulated step time of a full schedule.
+
+        Equals ``simulate_step(net, sched, cfg).time_s`` bit-for-bit
+        (asserted for every zoo network × policy in the test suite);
+        per-group ``group_cost`` sums agree up to float association.
+        The schedule's environment must match this model's — the walkers
+        read it from the schedule here but from the model in
+        ``group_cost``, so a mismatch would silently break that
+        agreement.
+        """
+        env = (sched.mini_batch, sched.relu_mask, sched.layer_reuse_bytes)
+        mine = (self.mini_batch, self.relu_mask, self.layer_reuse_bytes)
+        if env != mine:
+            raise ValueError(
+                f"schedule environment {env} does not match this model's "
+                f"{mine}; build the model with for_schedule()"
+            )
+        return schedule_step_time(self.net, sched, self.cfg, self.options)

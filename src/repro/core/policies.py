@@ -20,11 +20,15 @@ MBS-AUTO  adaptive: optimal grouping under the byte-accurate
 paper's closed-form proxy objective (:class:`~repro.core.cost.ProxyCostModel`)
 and reproduce the paper's schedules exactly; ``mbs-auto`` optimizes the
 same byte-accurate model the traffic evaluator is built from
-(:class:`~repro.core.cost.TrafficCostModel`).
+(:class:`~repro.core.cost.TrafficCostModel`), or — with
+``objective="latency"`` — the simulated-step-time model
+(:class:`~repro.core.cost.LatencyCostModel`), since weight double
+buffering makes the bytes-optimal schedule not always the time-optimal
+one.
 """
 from __future__ import annotations
 
-from repro.core.cost import ProxyCostModel, TrafficCostModel
+from repro.core.cost import LatencyCostModel, ProxyCostModel, TrafficCostModel
 from repro.core.traffic import TrafficOptions
 from repro.core.grouping import (
     GroupingProblem,
@@ -37,9 +41,14 @@ from repro.core.schedule import GroupPlan, Schedule, make_group
 from repro.core.subbatch import per_block_sub_batches
 from repro.graph.network import Network
 from repro.types import MIB, WORD_BYTES
+from repro.wavecore.config import WaveCoreConfig, config_for_policy
 
 POLICIES = ("baseline", "archopt", "il", "mbs-fs", "mbs1", "mbs2",
             "mbs1-opt", "mbs2-opt", "mbs-auto")
+
+#: Objectives the adaptive policy can optimize: DRAM bytes or simulated
+#: step seconds.  Fixed policies always optimize the paper's proxy.
+OBJECTIVES = ("traffic", "latency")
 
 #: Default per-core global buffer (paper Sec. 4.2).
 DEFAULT_BUFFER_BYTES = 10 * MIB
@@ -93,24 +102,39 @@ def _auto_groups(
     feas_reuse: list[int],
     relu_mask: bool,
     layer_reuse_bytes: int,
+    objective: str = "traffic",
+    cfg: WaveCoreConfig | None = None,
 ) -> list[GroupPlan]:
     """mbs-auto: optimal grouping + per-group mode under the true model.
 
     Windows are split at blocks that cannot fuse even without
     provisioning; inside each window the adaptive DP partitions blocks
     and picks MBS2-style / MBS1-style / streaming per group, scored by
-    the byte-accurate :class:`~repro.core.cost.TrafficCostModel` — the
-    same walkers :func:`~repro.core.traffic.compute_traffic` runs on the
-    finished schedule.
+    the exact model of the chosen objective: the byte-accurate
+    :class:`~repro.core.cost.TrafficCostModel` (the same walkers
+    :func:`~repro.core.traffic.compute_traffic` runs on the finished
+    schedule), or — ``objective="latency"`` — the simulated-step-time
+    :class:`~repro.core.cost.LatencyCostModel` (the same per-layer
+    timing :func:`~repro.wavecore.simulator.simulate_step` runs).
     """
     feas_plain = per_block_sub_batches(
         net, buffer_bytes, n_batch, branch_reuse=False, word_bytes=word_bytes
     )
-    model = TrafficCostModel(
-        net, n_batch, relu_mask=relu_mask,
-        layer_reuse_bytes=layer_reuse_bytes,
-        options=TrafficOptions(word_bytes=word_bytes),
-    )
+    if objective == "latency":
+        if cfg is None:
+            cfg = config_for_policy("mbs-auto", buffer_bytes=buffer_bytes)
+        model = LatencyCostModel(
+            net, n_batch, relu_mask=relu_mask,
+            layer_reuse_bytes=layer_reuse_bytes,
+            cfg=cfg,
+            options=TrafficOptions(word_bytes=word_bytes),
+        )
+    else:
+        model = TrafficCostModel(
+            net, n_batch, relu_mask=relu_mask,
+            layer_reuse_bytes=layer_reuse_bytes,
+            options=TrafficOptions(word_bytes=word_bytes),
+        )
     groups: list[GroupPlan] = []
     for seg in split_segments(feas_plain):
         if isinstance(seg, int):
@@ -147,11 +171,39 @@ def make_schedule(
     buffer_bytes: int = DEFAULT_BUFFER_BYTES,
     mini_batch: int | None = None,
     word_bytes: int = WORD_BYTES,
+    objective: str = "traffic",
+    cfg: WaveCoreConfig | None = None,
 ) -> Schedule:
-    """Build the schedule for one of the paper's configurations."""
+    """Build the schedule for one of the paper's configurations.
+
+    ``objective`` selects what the adaptive ``mbs-auto`` policy
+    minimizes: DRAM bytes (``"traffic"``, the default) or simulated step
+    seconds (``"latency"``).  The fixed policies optimize the paper's
+    closed-form proxy regardless, so any objective other than
+    ``"traffic"`` is rejected for them rather than silently ignored.
+    ``cfg`` pins the hardware the latency objective prices — pass the
+    same config the schedule will be simulated on (memory system,
+    double-buffering mode); it defaults to the policy's Tab. 3
+    configuration and is rejected for any other objective, where it
+    could only mislead.
+    """
     policy = policy.lower()
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}; choose from {OBJECTIVES}"
+        )
+    if objective != "traffic" and policy != "mbs-auto":
+        raise ValueError(
+            f"objective {objective!r} requires the adaptive 'mbs-auto' "
+            f"policy; {policy!r} optimizes the paper's fixed proxy"
+        )
+    if cfg is not None and objective != "latency":
+        raise ValueError(
+            "cfg only parameterizes the latency objective; the "
+            f"{objective!r} objective does not price hardware"
+        )
     n_batch = net.default_mini_batch if mini_batch is None else mini_batch
 
     branch_reuse = policy in ("il", "mbs2", "mbs2-opt", "mbs-fs", "mbs-auto")
@@ -200,7 +252,7 @@ def make_schedule(
         # cost model can never diverge from the Schedule it emits.
         groups = _auto_groups(
             net, buffer_bytes, n_batch, word_bytes, feasible,
-            relu_mask, layer_reuse_bytes,
+            relu_mask, layer_reuse_bytes, objective, cfg,
         )
     else:  # mbs1 / mbs2 (+ -opt variants)
         optimizer = exhaustive_grouping if policy.endswith("-opt") else greedy_grouping
@@ -215,4 +267,5 @@ def make_schedule(
         relu_mask=relu_mask,
         groups=tuple(groups),
         layer_reuse_bytes=layer_reuse_bytes,
+        objective=objective,
     )

@@ -61,6 +61,10 @@ class Schedule:
     #: layers' whole-mini-batch live sets fit within this budget.
     #: 0 disables the mechanism (pure conventional streaming).
     layer_reuse_bytes: int = 0
+    #: What the schedule's grouping was optimized for: DRAM ``"traffic"``
+    #: (every fixed policy, and mbs-auto's default) or simulated step
+    #: ``"latency"`` (``mbs-auto --objective latency``).
+    objective: str = "traffic"
 
     def __post_init__(self) -> None:
         covered = [i for g in self.groups for i in g.blocks]
@@ -105,9 +109,13 @@ class Schedule:
 
     def describe(self) -> str:
         """Human-readable one-line-per-group summary (Fig. 5 style)."""
+        objective = (
+            "" if self.objective == "traffic"
+            else f", objective={self.objective}"
+        )
         lines = [
             f"{self.policy} schedule for {self.network}: N={self.mini_batch}, "
-            f"buffer={self.buffer_bytes / 2**20:.0f} MiB"
+            f"buffer={self.buffer_bytes / 2**20:.0f} MiB{objective}"
         ]
         for i, g in enumerate(self.groups, 1):
             fused = "fused" if all(g.block_fused) else (

@@ -1,0 +1,108 @@
+"""Simulated-step-time bridge between the scheduler and WaveCore timing.
+
+The timing contract (paper Sec. 4.2) prices a layer at ``max(compute,
+DRAM)``: local buffers are double-buffered, so a layer's off-chip
+transfers overlap its computation, and with the per-PE second weight
+register (ArchOpt, Fig. 8) each GEMM wave's weight fill also hides
+under the previous wave's streaming.  Step time is the sum of layer
+times in dependency order.
+
+Crucially, a block's simulated time depends only on the block itself,
+network-structural facts, and its owning group's facts — sub-batch,
+iteration count, edge on-chip flags, provisioning mode — exactly the
+locality that lets :class:`repro.core.cost.TrafficCostModel` decompose
+DRAM bytes over groups.  This module exploits the same locality for
+*seconds*: :func:`block_step_time` prices one block under any
+schedule-like view by running the very traffic walkers and per-layer
+timing the simulator runs, and :func:`schedule_step_time` accumulates
+those block times in the simulator's own association, so
+
+```python
+schedule_step_time(net, sched, cfg) == simulate_step(net, sched, cfg).time_s
+```
+
+holds *bit-for-bit* (asserted zoo-wide in ``tests/test_core_steptime.py``).
+That exactness is what gives the latency-objective ``mbs-auto`` its
+dominance guarantee: the grouping DP optimizes the same number the
+evaluator reports.
+
+Weight double buffering is honored through the injected
+:class:`~repro.wavecore.config.WaveCoreConfig`: with it on, a GEMM wave
+costs ``max(m_t, k)`` cycles instead of ``m_t + k``, which shifts
+conv/FC layers toward memory-boundness — extra weight re-streaming from
+a smaller sub-batch may then be free in *time* while still costing
+*bytes*, which is why the latency- and traffic-optimal schedules
+genuinely diverge on tight buffers.
+"""
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.core.traffic import TrafficOptions, block_traffic
+from repro.graph.network import Network
+from repro.wavecore.config import WaveCoreConfig, config_for_policy
+from repro.wavecore.timing import attribute_block_dram, block_layer_timings
+
+
+def block_step_time(
+    net: Network,
+    sched_like,
+    idx: int,
+    sub_batch: int,
+    cfg: WaveCoreConfig,
+    options: TrafficOptions | None = None,
+    unlimited_bandwidth: bool = False,
+) -> float:
+    """Simulated time of block ``idx`` alone under a schedule-like view.
+
+    ``sched_like`` may be any object exposing the Schedule query surface
+    the traffic walkers consume (``mini_batch``, ``relu_mask``,
+    ``layer_reuse_bytes``, ``iterations_of_block``, ``block_fused``,
+    ``boundary_on_chip``, ``branch_reuse_of``) — the cost model passes a
+    single-group view.  ``sub_batch`` is the block's *effective*
+    sub-batch: 0 when it streams layerwise (unfused), the owning group's
+    sub-batch otherwise.
+
+    The per-layer accumulation order matches ``simulate_step`` exactly,
+    so these block times sum to the simulated step time bit-for-bit.
+    """
+    traffic = block_traffic(net, sched_like, idx, options)
+    dram_map = attribute_block_dram(net.blocks[idx], traffic.records)
+    total = 0.0
+    for lt in block_layer_timings(
+        net, idx, sched_like.mini_batch, sub_batch, cfg,
+        lambda name, phase: dram_map.get((name, phase), 0),
+        unlimited_bandwidth=unlimited_bandwidth,
+    ):
+        total += lt.time_s
+    return total
+
+
+def schedule_step_time(
+    net: Network,
+    sched: Schedule,
+    cfg: WaveCoreConfig | None = None,
+    options: TrafficOptions | None = None,
+    unlimited_bandwidth: bool = False,
+) -> float:
+    """Step time of a full schedule from per-block prices.
+
+    Equals :func:`repro.wavecore.simulator.step_time` (and therefore
+    ``simulate_step(...).time_s``) exactly — same walkers, same per-layer
+    timing, same float association.
+    """
+    if sched.num_blocks != len(net.blocks):
+        raise ValueError(
+            f"schedule covers {sched.num_blocks} blocks, network has "
+            f"{len(net.blocks)}"
+        )
+    if cfg is None:
+        cfg = config_for_policy(sched.policy)
+    total = 0.0
+    for idx in range(len(net.blocks)):
+        group = sched.group_of_block(idx)
+        sub_batch = group.sub_batch if sched.block_fused(idx) else 0
+        total += block_step_time(
+            net, sched, idx, sub_batch, cfg, options,
+            unlimited_bandwidth=unlimited_bandwidth,
+        )
+    return total

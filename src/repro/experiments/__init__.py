@@ -27,6 +27,7 @@ from repro.experiments import (  # noqa: F401  (imports register the specs)
     ablation_grouping,
     ablation_precision,
     headline,
+    latency_sweep,
     scalability,
     export,
 )

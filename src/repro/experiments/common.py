@@ -31,16 +31,31 @@ def evaluate(
     memory: str = "HBM2",
     buffer_bytes: int = DEFAULT_BUFFER_BYTES,
     unlimited_bandwidth: bool = False,
+    objective: str = "traffic",
 ) -> StepReport:
     """Simulate one (network, Tab. 3 configuration) cell.
 
     ``archopt`` runs the Baseline schedule on double-buffered hardware;
-    every other policy name maps 1:1 to a schedule.
+    every other policy name maps 1:1 to a schedule.  ``objective``
+    selects what the adaptive ``mbs-auto`` grouping minimizes (DRAM
+    ``"traffic"`` or simulated step ``"latency"``); fixed policies
+    accept only the default.
     """
+    if objective == "latency" and unlimited_bandwidth:
+        raise ValueError(
+            "objective='latency' optimizes bandwidth-limited step time; "
+            "under unlimited_bandwidth the reported metric is a different "
+            "one, so the combination would mislead"
+        )
     net = network(net_name)
     sched_policy = "baseline" if policy == "archopt" else policy
-    sched = make_schedule(net, sched_policy, buffer_bytes=buffer_bytes)
     cfg = config_for_policy(policy, memory=memory, buffer_bytes=buffer_bytes)
+    sched = make_schedule(
+        net, sched_policy, buffer_bytes=buffer_bytes, objective=objective,
+        # the latency DP must price the exact hardware we simulate on
+        # (memory bandwidth shifts the compute/memory-bound crossover)
+        cfg=cfg if objective == "latency" else None,
+    )
     return simulate_step(
         net, sched, cfg, unlimited_bandwidth=unlimited_bandwidth
     )

@@ -13,8 +13,9 @@ Subcommands::
     mbs-repro all --render-from-cache [--only a,b] [--out DIR]
     mbs-repro sweep <artifact> [--set axis=v1,v2,... ...] [--jobs N]
     mbs-repro bench [--only a,b] [--json PATH]
-    mbs-repro schedule <network> [policy] [buffer MiB]
+    mbs-repro schedule <network> [policy] [buffer MiB] [--objective OBJ]
     mbs-repro export [results.json] [--full] [--jobs N]
+    mbs-repro fingerprint
     mbs-repro list
 
 ``all --render-from-cache`` replays the stored manifests without any
@@ -28,11 +29,17 @@ Common flags: ``--jobs N`` worker processes (default 1 = serial),
 (default ``.mbs-cache`` or ``$MBS_REPRO_CACHE``), ``--out DIR`` copy
 result manifests to DIR, ``--timeout S`` per-task budget.
 
+``fingerprint`` prints the package code fingerprint the result cache is
+keyed on — CI uses it as the ``actions/cache`` key for ``.mbs-cache``
+so unchanged code replays cached manifests across pushes.  ``schedule
+--objective latency`` builds the adaptive schedule that minimizes
+simulated step time instead of DRAM bytes.
+
 Legacy form ``mbs-repro <artifact> [driver args]`` still dispatches to
 the driver module directly (always recomputes).
 
 Artifacts: fig3 fig4 fig6 fig10 fig11 fig12 fig13 fig14 tab2 ablation
-precision headline scaling.
+precision headline scaling latency_sweep.
 """
 from __future__ import annotations
 
@@ -52,31 +59,56 @@ from repro.runtime import (
     task_key,
 )
 
-SUBCOMMANDS = ("run", "all", "sweep", "bench", "schedule", "export", "list")
+SUBCOMMANDS = ("run", "all", "sweep", "bench", "schedule", "export",
+               "fingerprint", "list")
 
 
 def _schedule_command(rest: list[str]) -> int:
     """Inspect the MBS schedule of any zoo network from the shell."""
-    from repro.core.policies import make_schedule
+    from repro.core.policies import OBJECTIVES, POLICIES, make_schedule
     from repro.core.traffic import compute_traffic
     from repro.types import MIB
+    from repro.wavecore.config import config_for_policy
+    from repro.wavecore.simulator import step_time
     from repro.zoo import build
 
-    if not rest:
-        from repro.core.policies import POLICIES
-
-        print("usage: mbs-repro schedule <network> [policy] [buffer MiB]")
+    parser = argparse.ArgumentParser(
+        prog="mbs-repro schedule", add_help=False,
+        usage="mbs-repro schedule <network> [policy] [buffer MiB] "
+              "[--objective OBJ]",
+    )
+    parser.add_argument("network", nargs="?")
+    parser.add_argument("policy", nargs="?", default="mbs2")
+    parser.add_argument("buffer_mib", nargs="?", type=int, default=10)
+    parser.add_argument("--objective", choices=OBJECTIVES, default="traffic")
+    try:
+        args = parser.parse_args(rest)
+    except SystemExit:
+        return 2
+    if not args.network:
+        print("usage: mbs-repro schedule <network> [policy] [buffer MiB] "
+              "[--objective traffic|latency]")
         print(f"policies: {' '.join(POLICIES)}  (default: mbs2)")
         return 2
-    net = build(rest[0])
-    policy = rest[1] if len(rest) > 1 else "mbs2"
-    buffer_mib = int(rest[2]) if len(rest) > 2 else 10
-    sched = make_schedule(net, policy, buffer_bytes=buffer_mib * MIB)
+    cfg = config_for_policy(args.policy, buffer_bytes=args.buffer_mib * MIB)
+    try:
+        net = build(args.network)
+        sched = make_schedule(
+            net, args.policy, buffer_bytes=args.buffer_mib * MIB,
+            objective=args.objective,
+            cfg=cfg if args.objective == "latency" else None,
+        )
+    except (KeyError, ValueError) as exc:
+        # unknown network / policy / objective combination: usage error
+        print(str(exc).strip("'\""), file=sys.stderr)
+        return 2
     print(sched.describe())
     rep = compute_traffic(net, sched)
     print(f"\nDRAM traffic/step: {rep.total_bytes / 2**30:.2f} GiB")
     for cat, nbytes in sorted(rep.by_category().items(), key=lambda kv: -kv[1]):
         print(f"  {cat.value:18s} {nbytes / 2**20:10.1f} MiB")
+    print(f"\nsimulated step time: "
+          f"{step_time(net, sched, cfg, traffic=rep) * 1e3:.3f} ms")
     return 0
 
 
@@ -167,6 +199,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="recompute even when a cached result exists")
     p.add_argument("--cache-dir", metavar="DIR", default=None,
                    help="cache root (default: .mbs-cache or $MBS_REPRO_CACHE)")
+
+    sub.add_parser(
+        "fingerprint",
+        help="print the package code fingerprint the result cache is "
+             "keyed on (CI cache key for .mbs-cache)",
+    )
 
     sub.add_parser("list", help="list registered experiments")
     return parser
@@ -433,6 +471,11 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_fingerprint(args) -> int:
+    print(code_fingerprint())
+    return 0
+
+
 def _cmd_list(args) -> int:
     from repro.experiments.tables import format_table
 
@@ -477,6 +520,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "export": _cmd_export,
+        "fingerprint": _cmd_fingerprint,
         "list": _cmd_list,
     }[args.command]
     return handler(args)

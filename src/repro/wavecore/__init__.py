@@ -10,7 +10,7 @@ from repro.wavecore.config import (
 )
 from repro.wavecore.gemm import GemmDims, conv_gemm, fc_gemm
 from repro.wavecore.tiling import gemm_cycles, gemm_utilization
-from repro.wavecore.simulator import simulate_step
+from repro.wavecore.simulator import simulate_step, step_time
 from repro.wavecore.report import StepReport
 from repro.wavecore.gpu import GpuConfig, V100, simulate_gpu_step
 from repro.wavecore.area import estimate_area, estimate_power
@@ -35,4 +35,5 @@ __all__ = [
     "gemm_utilization",
     "simulate_gpu_step",
     "simulate_step",
+    "step_time",
 ]

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.policies import make_schedule
 from repro.core.traffic import Phase, compute_traffic
 from repro.graph.layers import Conv2D, LayerKind
 from repro.graph.network import Network
@@ -75,6 +74,11 @@ def simulate_gpu_step(
     cfg: GpuConfig = V100,
 ) -> float:
     """Per-training-step time (seconds) of the conventional GPU flow."""
+    # Deferred: policies builds on the cost models, which reach back into
+    # wavecore timing for the latency objective — importing it here keeps
+    # package import order acyclic.
+    from repro.core.policies import make_schedule
+
     n = (net.default_mini_batch * 2) if mini_batch is None else mini_batch
     sched = make_schedule(net, "baseline", mini_batch=n)
     traffic = compute_traffic(net, sched)

@@ -7,7 +7,11 @@ from repro.graph.network import Network
 from repro.wavecore.config import WaveCoreConfig, config_for_policy
 from repro.wavecore.energy import DEFAULT_ENERGY, EnergyParams, step_energy
 from repro.wavecore.report import LayerTiming, StepReport
-from repro.wavecore.timing import gbuf_bytes_for_layer, layer_compute, per_layer_dram
+from repro.wavecore.timing import (
+    block_layer_timings,
+    gbuf_bytes_for_layer,
+    per_layer_dram,
+)
 
 
 def simulate_step(
@@ -31,47 +35,37 @@ def simulate_step(
         traffic = compute_traffic(net, sched, TrafficOptions())
 
     dram_map = per_layer_dram(net, traffic)
-    core_bw = cfg.core_bandwidth
 
     layers: list[LayerTiming] = []
     total_cycles = 0
     total_macs = 0
     total_gbuf = 0
+    # Accumulated per block, then summed: the identical association the
+    # latency cost model uses, so a schedule's step time decomposes into
+    # per-group prices bit-for-bit (see repro.core.steptime).
     time_s = 0.0
 
-    first_layer_name = net.blocks[0].all_layers()[0].name
     for idx, block in enumerate(net.blocks):
         group = sched.group_of_block(idx)
         sub_batch = group.sub_batch if sched.block_fused(idx) else 0
+        block_s = 0.0
+        for lt in block_layer_timings(
+            net, idx, sched.mini_batch, sub_batch, cfg,
+            lambda name, phase, _b=block.name: dram_map.get(
+                (_b, name, phase), 0
+            ),
+            unlimited_bandwidth=unlimited_bandwidth,
+        ):
+            layers.append(lt)
+            total_cycles += lt.compute_cycles
+            total_macs += lt.macs
+            block_s += lt.time_s
+        time_s += block_s
         for phase in (Phase.FWD, Phase.BWD):
             for layer in block.all_layers():
-                comp = layer_compute(
-                    layer, phase, sched.mini_batch, sub_batch, cfg,
-                    skip_data_grad=(idx == 0 and layer.name == first_layer_name),
-                )
-                dram = dram_map.get((block.name, layer.name, phase), 0)
-                compute_s = (
-                    comp.cycles / cfg.clock_hz if comp.is_systolic else comp.vector_s
-                )
-                dram_s = 0.0 if unlimited_bandwidth else dram / core_bw
-                lt = LayerTiming(
-                    block=block.name,
-                    layer=layer.name,
-                    kind=layer.kind.value,
-                    phase=phase.value,
-                    compute_cycles=comp.cycles,
-                    macs=comp.macs,
-                    dram_bytes=dram,
-                    compute_s=compute_s,
-                    dram_s=dram_s,
-                )
-                layers.append(lt)
-                total_cycles += comp.cycles
-                total_macs += comp.macs
                 total_gbuf += gbuf_bytes_for_layer(
                     layer, phase, sched.mini_batch, sub_batch, cfg
                 )
-                time_s += lt.time_s
 
     utilization = (
         total_macs / (total_cycles * cfg.pe_count) if total_cycles else 0.0
@@ -102,3 +96,22 @@ def simulate_step(
         params=energy_params,
     )
     return report
+
+
+def step_time(
+    net: Network,
+    sched: Schedule,
+    cfg: WaveCoreConfig | None = None,
+    traffic: TrafficReport | None = None,
+    unlimited_bandwidth: bool = False,
+) -> float:
+    """Simulated step latency of ``sched`` alone (the Fig. 10/13 objective).
+
+    Equals ``simulate_step(...).time_s`` exactly; the latency cost model
+    (:class:`repro.core.cost.LatencyCostModel`) reproduces this number
+    from per-group prices bit-for-bit.
+    """
+    return simulate_step(
+        net, sched, cfg, traffic=traffic,
+        unlimited_bandwidth=unlimited_bandwidth,
+    ).time_s

@@ -8,14 +8,16 @@ time is the sum of layer times.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
 
-from repro.core.traffic import Phase, TrafficReport
+from repro.core.traffic import Phase, TrafficRecord, TrafficReport
 from repro.core.subbatch import sub_batch_sequence
 from repro.graph.blocks import Block
 from repro.graph.layers import Conv2D, Layer, LayerKind
 from repro.graph.network import Network
 from repro.wavecore.config import WaveCoreConfig
 from repro.wavecore.gemm import GemmPhase, conv_gemm, fc_gemm
+from repro.wavecore.report import LayerTiming
 from repro.wavecore.tiling import gemm_cycles
 
 #: Vector-unit passes over the data per layer kind and phase.  Norm layers
@@ -90,10 +92,10 @@ def layer_compute(
     return LayerCompute(cycles=0, vector_s=vector_s, macs=0)
 
 
-def per_layer_dram(
-    net: Network, report: TrafficReport
-) -> dict[tuple[str, str, Phase], int]:
-    """Attribute DRAM traffic records to concrete layers for timing.
+def attribute_block_dram(
+    block: Block, records: Iterable[TrafficRecord]
+) -> dict[tuple[str, Phase], int]:
+    """Attribute one block's DRAM traffic records to concrete layers.
 
     Traffic records carry either a real layer name, a ``<layer>.out``
     tensor name, or a block-level name (``<block>.in`` / ``<block>.out`` /
@@ -101,29 +103,94 @@ def per_layer_dram(
     first layer streams in; output traffic while the last layer drains —
     and symmetrically in backward.
     """
-    layer_names: dict[str, set[str]] = {}
-    first_layer: dict[str, str] = {}
-    last_layer: dict[str, str] = {}
-    for block in net.blocks:
-        layers = block.all_layers()
-        layer_names[block.name] = {l.name for l in layers}
-        first_layer[block.name] = layers[0].name
-        last_layer[block.name] = layers[-1].name
-
-    out: dict[tuple[str, str, Phase], int] = {}
-    for rec in report.records:
-        names = layer_names.get(rec.block, set())
+    layers = block.all_layers()
+    names = {l.name for l in layers}
+    first = layers[0].name
+    last = layers[-1].name
+    out: dict[tuple[str, Phase], int] = {}
+    for rec in records:
         if rec.layer in names:
             layer = rec.layer
         elif rec.layer.endswith(".out") and rec.layer[:-4] in names:
             layer = rec.layer[:-4]
         elif rec.layer.endswith(".out"):
-            layer = last_layer[rec.block]
+            layer = last
         else:  # .in / fork / other block-level markers
-            layer = first_layer[rec.block]
-        key = (rec.block, layer, rec.phase)
+            layer = first
+        key = (layer, rec.phase)
         out[key] = out.get(key, 0) + rec.bytes
     return out
+
+
+def per_layer_dram(
+    net: Network, report: TrafficReport
+) -> dict[tuple[str, str, Phase], int]:
+    """Attribute a whole step's DRAM traffic records to concrete layers."""
+    by_block: dict[str, list[TrafficRecord]] = {}
+    for rec in report.records:
+        by_block.setdefault(rec.block, []).append(rec)
+
+    unknown = set(by_block) - {b.name for b in net.blocks}
+    if unknown:
+        # fail loudly: a silently dropped record would under-count DRAM
+        # time in every consumer (simulator, latency cost model)
+        raise KeyError(
+            f"traffic records reference block(s) not in {net.name}: "
+            f"{sorted(unknown)}"
+        )
+
+    out: dict[tuple[str, str, Phase], int] = {}
+    for block in net.blocks:
+        attributed = attribute_block_dram(block, by_block.get(block.name, ()))
+        for (layer, phase), nbytes in attributed.items():
+            out[(block.name, layer, phase)] = nbytes
+    return out
+
+
+def block_layer_timings(
+    net: Network,
+    idx: int,
+    mini_batch: int,
+    sub_batch: int,
+    cfg: WaveCoreConfig,
+    dram_of: Callable[[str, Phase], int],
+    unlimited_bandwidth: bool = False,
+) -> Iterator[LayerTiming]:
+    """Per-layer timing of block ``idx``: both phases, in execution order.
+
+    ``sub_batch`` is the block's *effective* sub-batch (0 when the block
+    streams layerwise); ``dram_of(layer_name, phase)`` supplies the DRAM
+    bytes attributed to each layer.  This is the single authority on how
+    compute and memory time combine — :func:`~repro.wavecore.simulator.
+    simulate_step` and the latency cost model both iterate it, so a
+    per-group price can never drift from the simulated step time.
+    """
+    block = net.blocks[idx]
+    first_layer_name = net.blocks[0].all_layers()[0].name
+    core_bw = cfg.core_bandwidth
+    for phase in (Phase.FWD, Phase.BWD):
+        for layer in block.all_layers():
+            comp = layer_compute(
+                layer, phase, mini_batch, sub_batch, cfg,
+                skip_data_grad=(idx == 0 and layer.name == first_layer_name),
+            )
+            dram = dram_of(layer.name, phase)
+            compute_s = (
+                comp.cycles / cfg.clock_hz if comp.is_systolic
+                else comp.vector_s
+            )
+            dram_s = 0.0 if unlimited_bandwidth else dram / core_bw
+            yield LayerTiming(
+                block=block.name,
+                layer=layer.name,
+                kind=layer.kind.value,
+                phase=phase.value,
+                compute_cycles=comp.cycles,
+                macs=comp.macs,
+                dram_bytes=dram,
+                compute_s=compute_s,
+                dram_s=dram_s,
+            )
 
 
 def gbuf_bytes_for_layer(

@@ -1,0 +1,221 @@
+"""The CI bench-gate comparator: generous tolerance, loud reporting."""
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts/bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def _results_file(tmp_path, name, medians):
+    payload = {
+        "benchmarks": [
+            {"fullname": full, "stats": {"median": median}}
+            for full, median in medians.items()
+        ]
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture()
+def baseline(tmp_path):
+    path = tmp_path / "baselines.json"
+    path.write_text(json.dumps({
+        "comment": "test baselines",
+        "benchmarks": {"bench.py::test_a": 0.010, "bench.py::test_b": 0.100},
+    }))
+    return path
+
+
+class TestGate:
+    def test_within_tolerance_passes(self, tmp_path, baseline, capsys):
+        results = _results_file(
+            tmp_path, "r.json",
+            {"bench.py::test_a": 0.025, "bench.py::test_b": 0.09},
+        )
+        rc = bench_compare.main([str(results), "--baseline", str(baseline)])
+        assert rc == 0
+        assert "FAIL" not in capsys.readouterr().out
+
+    def test_gross_regression_fails(self, tmp_path, baseline, capsys):
+        results = _results_file(
+            tmp_path, "r.json",
+            {"bench.py::test_a": 0.031, "bench.py::test_b": 0.09},
+        )
+        rc = bench_compare.main([str(results), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_tolerance_flag_loosens_the_gate(self, tmp_path, baseline):
+        results = _results_file(
+            tmp_path, "r.json",
+            {"bench.py::test_a": 0.031, "bench.py::test_b": 0.09},
+        )
+        rc = bench_compare.main([
+            str(results), "--baseline", str(baseline), "--tolerance", "5",
+        ])
+        assert rc == 0
+
+    def test_new_and_absent_benchmarks_pass_loudly(
+            self, tmp_path, baseline, capsys):
+        results = _results_file(
+            tmp_path, "r.json",
+            {"bench.py::test_a": 0.01, "bench.py::test_new": 1.0},
+        )
+        rc = bench_compare.main([str(results), "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "new" in out and "absent" in out
+
+    def test_multiple_results_files_merge(self, tmp_path, baseline):
+        r1 = _results_file(tmp_path, "r1.json", {"bench.py::test_a": 0.01})
+        r2 = _results_file(tmp_path, "r2.json", {"bench.py::test_b": 0.5})
+        rc = bench_compare.main(
+            [str(r1), str(r2), "--baseline", str(baseline)]
+        )
+        assert rc == 1  # test_b regressed 5x, merged from the second file
+
+    def test_sub_millisecond_baselines_are_not_gated(self, tmp_path, capsys):
+        """Microsecond-scale medians measure timer jitter, not code:
+        they are reported as tiny and never fail the gate."""
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({
+            "benchmarks": {"bench.py::test_us": 2e-6},
+        }))
+        results = _results_file(
+            tmp_path, "r.json", {"bench.py::test_us": 2e-4}  # 100x "slower"
+        )
+        rc = bench_compare.main([str(results), "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tiny" in out and "not gated" in out
+
+    def test_noise_floor_flag_overrides(self, tmp_path):
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({
+            "benchmarks": {"bench.py::test_us": 2e-6},
+        }))
+        results = _results_file(
+            tmp_path, "r.json", {"bench.py::test_us": 2e-4}
+        )
+        rc = bench_compare.main([
+            str(results), "--baseline", str(baseline), "--noise-floor", "0",
+        ])
+        assert rc == 1  # gated once the floor is lowered
+
+
+class TestBadInputs:
+    def test_missing_results_file(self, tmp_path, baseline, capsys):
+        rc = bench_compare.main(
+            [str(tmp_path / "nope.json"), "--baseline", str(baseline)]
+        )
+        assert rc == 2
+
+    def test_missing_baseline_file(self, tmp_path, capsys):
+        results = _results_file(
+            tmp_path, "r.json", {"bench.py::test_a": 0.01}
+        )
+        rc = bench_compare.main(
+            [str(results), "--baseline", str(tmp_path / "nope.json")]
+        )
+        assert rc == 2
+        assert "--update" in capsys.readouterr().err
+
+    def test_empty_results(self, tmp_path, baseline):
+        results = _results_file(tmp_path, "r.json", {})
+        rc = bench_compare.main([str(results), "--baseline", str(baseline)])
+        assert rc == 2
+
+
+class TestUpdate:
+    def test_update_writes_sorted_baselines(self, tmp_path):
+        results = _results_file(
+            tmp_path, "r.json",
+            {"bench.py::test_b": 0.2, "bench.py::test_a": 0.1},
+        )
+        baseline = tmp_path / "new-baselines.json"
+        rc = bench_compare.main([
+            str(results), "--baseline", str(baseline), "--update",
+        ])
+        assert rc == 0
+        data = json.loads(baseline.read_text())
+        assert list(data["benchmarks"]) == [
+            "bench.py::test_a", "bench.py::test_b",
+        ]
+        # round trip: freshly updated baselines always gate green
+        assert bench_compare.main(
+            [str(results), "--baseline", str(baseline)]
+        ) == 0
+
+    def test_uniform_runner_slowdown_is_normalized_away(self, tmp_path):
+        """Baselines come from a different machine: a CI runner that is
+        uniformly 4x slower must not fail the gate."""
+        names = [f"bench.py::test_{i}" for i in range(6)]
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({
+            "benchmarks": {n: 0.010 for n in names},
+        }))
+        results = _results_file(
+            tmp_path, "r.json", {n: 0.040 for n in names}
+        )
+        rc = bench_compare.main([str(results), "--baseline", str(baseline)])
+        assert rc == 0
+
+    def test_isolated_regression_survives_normalization(self, tmp_path):
+        names = [f"bench.py::test_{i}" for i in range(6)]
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({
+            "benchmarks": {n: 0.010 for n in names},
+        }))
+        medians = {n: 0.010 for n in names}
+        medians[names[0]] = 0.200  # one benchmark 20x slower
+        results = _results_file(tmp_path, "r.json", medians)
+        rc = bench_compare.main([str(results), "--baseline", str(baseline)])
+        assert rc == 1
+
+    def test_uniform_slowdown_past_hard_cap_still_fails(self, tmp_path,
+                                                        capsys):
+        """Normalization cancels machine speed, not arbitrary uniform
+        regressions: raw ratios past tolerance * hard-cap factor fail
+        even when the median moved with them."""
+        names = [f"bench.py::test_{i}" for i in range(6)]
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({
+            "benchmarks": {n: 0.010 for n in names},
+        }))
+        results = _results_file(
+            tmp_path, "r.json", {n: 0.120 for n in names}  # uniform 12x
+        )
+        rc = bench_compare.main([str(results), "--baseline", str(baseline)])
+        out = capsys.readouterr()
+        assert rc == 1
+        assert "hard cap" in out.out
+        assert "WARNING" in out.err
+
+    def test_update_merges_instead_of_clobbering(self, tmp_path, baseline):
+        """Refreshing one suite must keep the other suites' baselines
+        (a dropped baseline silently un-gates its benchmark)."""
+        results = _results_file(
+            tmp_path, "r.json", {"bench.py::test_a": 0.5}
+        )
+        rc = bench_compare.main([
+            str(results), "--baseline", str(baseline), "--update",
+        ])
+        assert rc == 0
+        data = json.loads(baseline.read_text())["benchmarks"]
+        assert data["bench.py::test_a"] == 0.5  # refreshed
+        assert data["bench.py::test_b"] == 0.100  # kept, not dropped
+
+    def test_committed_baselines_cover_both_suites(self):
+        committed = json.loads(
+            (_SCRIPT.parent.parent / "benchmarks/baselines.json").read_text()
+        )["benchmarks"]
+        assert any("bench_scheduler" in name for name in committed)
+        assert any("bench_micro_kernels" in name for name in committed)
+        assert any("latency" in name for name in committed)

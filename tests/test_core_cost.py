@@ -240,3 +240,138 @@ class TestMbsAuto:
         sched = make_schedule(net, "mbs-auto", buffer_bytes=10**12)
         assert len(sched.groups) == 1
         assert sched.groups[0].iterations == 1
+
+
+class TestMbsAutoLatency:
+    """The latency objective: dominance in *seconds*, divergence in bytes.
+
+    ``mbs-auto --objective latency`` optimizes the exact simulated step
+    time (:class:`LatencyCostModel` reproduces ``simulate_step`` bit for
+    bit), over a search space containing every partition ``mbs1`` and
+    ``mbs2`` can emit — so its simulated step time is never above
+    ``min(mbs1, mbs2)`` at any buffer size, by the same construction
+    that gives the traffic objective its byte guarantee.  The 1e-12
+    relative slack only covers float association inside the DP's
+    group-sum accumulation.
+    """
+
+    #: Acceptance grid: every power-of-4 buffer from 16 KiB to 4 MiB —
+    #: the tight-buffer regime where the objectives diverge.
+    BUFFERS = tuple(16 * KIB * 4**i for i in range(5))  # 16 KiB .. 4 MiB
+
+    def _times(self, net, buf):
+        from repro.wavecore.config import config_for_policy
+        from repro.wavecore.simulator import step_time
+
+        cfg = config_for_policy("mbs-auto", buffer_bytes=buf)
+        return {
+            label: step_time(
+                net,
+                make_schedule(net, policy, buffer_bytes=buf,
+                              objective=objective),
+                cfg,
+            )
+            for label, policy, objective in (
+                ("auto-lat", "mbs-auto", "latency"),
+                ("auto", "mbs-auto", "traffic"),
+                ("mbs1", "mbs1", "traffic"),
+                ("mbs2", "mbs2", "traffic"),
+            )
+        }
+
+    def test_never_slower_than_mbs1_or_mbs2_everywhere(self, nets):
+        """Acceptance: step time of mbs-auto(latency) <= min(mbs1, mbs2)
+        for every zoo network across 16 KiB – 4096 KiB."""
+        extra = ("resnet18", "resnet34", "toy_chain", "toy_residual",
+                 "toy_inception")
+        for name in tuple(PAPER_NETWORKS) + extra:
+            net = nets.get(name) or build(name)
+            for buf in self.BUFFERS:
+                t = self._times(net, buf)
+                bound = min(t["mbs1"], t["mbs2"], t["auto"])
+                assert t["auto-lat"] <= bound * (1 + 1e-12), \
+                    (name, buf, t)
+
+    def test_objectives_genuinely_diverge_on_tight_buffers(self, nets):
+        """Weight double buffering makes bytes-optimal != time-optimal:
+        somewhere in the tight-buffer regime the latency objective is
+        strictly faster than the byte-optimal adaptive schedule, and
+        pays strictly more DRAM traffic for it."""
+        net = nets["toy_inception"]
+        diverged = False
+        for buf in (16 * KIB, 64 * KIB, 256 * KIB):
+            lat = make_schedule(net, "mbs-auto", buffer_bytes=buf,
+                                objective="latency")
+            tra = make_schedule(net, "mbs-auto", buffer_bytes=buf)
+            t = self._times(net, buf)
+            bytes_lat = compute_traffic(net, lat).total_bytes
+            bytes_tra = compute_traffic(net, tra).total_bytes
+            assert bytes_tra <= bytes_lat  # traffic DP stays byte-optimal
+            if t["auto-lat"] < t["auto"] * (1 - 1e-9):
+                assert bytes_lat > bytes_tra
+                diverged = True
+        assert diverged
+
+    def test_latency_schedules_fit_the_buffer(self, nets):
+        for name in ("resnet50", "inception_v3"):
+            net = nets[name]
+            for buf in (1 * MIB, 10 * MIB):
+                sched = make_schedule(net, "mbs-auto", buffer_bytes=buf,
+                                      objective="latency")
+                assert validate_schedule_occupancy(net, sched) == []
+
+    def test_traffic_model_still_exact_on_latency_schedules(self, nets):
+        """Cross-model consistency: the byte-accurate model prices a
+        latency-objective schedule exactly (the refactor kept
+        TrafficCostModel bit-exact for every schedule shape)."""
+        net = nets["toy_inception"]
+        for buf in (16 * KIB, 1 * MIB, 10 * MIB):
+            sched = make_schedule(net, "mbs-auto", buffer_bytes=buf,
+                                  objective="latency")
+            model = TrafficCostModel.for_schedule(net, sched)
+            assert model.schedule_cost(sched) == \
+                compute_traffic(net, sched).total_bytes
+
+    def test_objective_recorded_on_schedule(self, nets):
+        net = nets["toy_chain"]
+        lat = make_schedule(net, "mbs-auto", objective="latency")
+        assert lat.objective == "latency"
+        assert "objective=latency" in lat.describe()
+        assert make_schedule(net, "mbs-auto").objective == "traffic"
+
+    def test_invalid_objective_combinations_raise(self, nets):
+        net = nets["toy_chain"]
+        with pytest.raises(ValueError, match="unknown objective"):
+            make_schedule(net, "mbs-auto", objective="energy")
+        with pytest.raises(ValueError, match="requires the adaptive"):
+            make_schedule(net, "mbs2", objective="latency")
+
+    def test_cfg_rejected_for_traffic_objective(self, nets):
+        from repro.wavecore.config import DEFAULT_CONFIG
+
+        with pytest.raises(ValueError, match="cfg only parameterizes"):
+            make_schedule(nets["toy_chain"], "mbs-auto", cfg=DEFAULT_CONFIG)
+
+    def test_dominance_holds_on_other_memory_systems(self, nets):
+        """The latency DP must price the hardware it is simulated on —
+        evaluate() passes the cfg through (regression: the DP used to
+        assume HBM2 whatever memory the caller selected, so slower
+        memories could invert the guarantee)."""
+        from repro.wavecore.config import config_for_policy
+        from repro.wavecore.simulator import step_time
+
+        net = nets["toy_inception"]
+        for memory in ("LPDDR4", "GDDR5"):
+            for buf in (64 * KIB, 1 * MIB):
+                cfg = config_for_policy(
+                    "mbs-auto", memory=memory, buffer_bytes=buf
+                )
+                lat = make_schedule(
+                    net, "mbs-auto", buffer_bytes=buf,
+                    objective="latency", cfg=cfg,
+                )
+                t_lat = step_time(net, lat, cfg)
+                for pol in ("mbs1", "mbs2", "mbs-auto"):
+                    other = make_schedule(net, pol, buffer_bytes=buf)
+                    bound = step_time(net, other, cfg) * (1 + 1e-12)
+                    assert t_lat <= bound, (memory, buf, pol)

@@ -15,6 +15,7 @@ from repro.experiments import (
     fig13_gpu_comparison,
     fig14_utilization,
     headline,
+    latency_sweep,
     tab02_area,
 )
 
@@ -23,6 +24,7 @@ def test_registry_complete():
     assert set(ALL_EXPERIMENTS) == {
         "fig3", "fig4", "fig6", "fig10", "fig11", "fig12", "fig13",
         "fig14", "tab2", "ablation", "precision", "headline", "scaling",
+        "latency_sweep",
     }
 
 
@@ -124,7 +126,45 @@ class TestHeadline:
             "traffic_saving", "traffic_cut_x", "speedup_vs_baseline",
             "perf_improvement", "energy_saving",
             "auto_traffic_cut_x", "auto_vs_mbs2_x",
+            "auto_lat_speedup_x", "auto_lat_time_gain_x",
         }
+
+    def test_latency_objective_never_slower_than_byte_objective(self):
+        res = headline.run(networks=("resnet50",))
+        v = res["per_network"]["resnet50"]
+        assert v["auto_lat_time_gain_x"] >= 1.0 - 1e-12
+        assert v["auto_lat_speedup_x"] >= v["speedup_vs_baseline"] - 1e-12
+
+
+class TestLatencySweep:
+    def test_cells_cover_grid_and_divergence_bounds(self):
+        res = latency_sweep.run("resnet50", buffers_mib=(1, 5))
+        labels = set(latency_sweep.POLICY_SPECS)
+        assert {k[0] for k in res["cells"]} == labels
+        assert {k[1] for k in res["cells"]} == {1, 5}
+        for buf in (1, 5):
+            d = res["divergence"][buf]
+            # the latency objective can only gain time, and pays bytes
+            assert d["time_gain"] >= 1.0 - 1e-12
+            assert d["traffic_cost"] >= 1.0 - 1e-12
+
+    def test_latency_objective_rejects_unlimited_bandwidth(self):
+        """The DP prices bandwidth-limited time; reporting under
+        unlimited bandwidth would be a different metric entirely."""
+        from repro.experiments.common import evaluate
+
+        with pytest.raises(ValueError, match="unlimited_bandwidth"):
+            evaluate("toy_chain", "mbs-auto", objective="latency",
+                     unlimited_bandwidth=True)
+
+    def test_latency_auto_is_fastest_policy_everywhere(self):
+        res = latency_sweep.run("resnet50", buffers_mib=(1, 10))
+        for buf in (1, 10):
+            lat = res["cells"][("mbs-auto:lat", buf)]["time_s"]
+            for label in ("mbs1", "mbs2", "mbs-auto"):
+                assert lat <= res["cells"][(label, buf)]["time_s"] * (
+                    1 + 1e-12
+                ), (label, buf)
 
 
 class TestRunnerCli:

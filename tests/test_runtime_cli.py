@@ -51,10 +51,38 @@ class TestExitCodes:
 
     def test_schedule_command(self, capsys):
         assert main(["schedule", "resnet50"]) == 0
-        assert "DRAM traffic/step" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "DRAM traffic/step" in out
+        assert "simulated step time" in out
 
     def test_schedule_needs_network(self, capsys):
         assert main(["schedule"]) == 2
+
+    def test_schedule_latency_objective(self, capsys):
+        assert main(["schedule", "toy_inception", "mbs-auto", "1",
+                     "--objective", "latency"]) == 0
+        out = capsys.readouterr().out
+        assert "objective=latency" in out
+        assert "simulated step time" in out
+
+    def test_schedule_rejects_objective_for_fixed_policy(self, capsys):
+        assert main(["schedule", "toy_chain", "mbs2", "10",
+                     "--objective", "latency"]) == 2
+        assert "requires the adaptive" in capsys.readouterr().err
+
+    def test_schedule_rejects_unknown_objective(self, capsys):
+        assert main(["schedule", "toy_chain", "mbs-auto", "10",
+                     "--objective", "energy"]) == 2
+
+    def test_schedule_unknown_network_is_usage_error(self, capsys):
+        assert main(["schedule", "resnet5"]) == 2
+        assert "unknown network" in capsys.readouterr().err
+
+    def test_fingerprint_prints_cache_key_component(self, capsys):
+        from repro.runtime import code_fingerprint
+
+        assert main(["fingerprint"]) == 0
+        assert capsys.readouterr().out.strip() == code_fingerprint()
 
 
 class TestRunSubcommand:
@@ -175,6 +203,18 @@ class TestAllSubcommand:
                      "--summary", "--out", str(out),
                      "--cache-dir", cache_dir]) == 1
         assert "no-file" in capsys.readouterr().out
+
+    def test_latency_sweep_manifest_parity_across_jobs(self, tmp_path):
+        """Acceptance: the latency_sweep manifest is byte-identical
+        between `--jobs 1` and `--jobs 4`."""
+        out4, out1 = tmp_path / "j4", tmp_path / "j1"
+        base = ["all", "--only", "latency_sweep", "--summary"]
+        assert main(base + ["--jobs", "4", "--out", str(out4),
+                            "--cache-dir", str(tmp_path / "c4")]) == 0
+        assert main(base + ["--jobs", "1", "--out", str(out1),
+                            "--cache-dir", str(tmp_path / "c1")]) == 0
+        assert (out4 / "latency_sweep.json").read_bytes() == \
+            (out1 / "latency_sweep.json").read_bytes()
 
     def test_parallel_serial_parity_and_cache_hits(self, capsys, tmp_path):
         """Acceptance: `all --jobs 4` == serial manifests byte-for-byte,
