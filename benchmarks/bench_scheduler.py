@@ -8,9 +8,10 @@ exactness costs over the closed-form proxy.
 """
 import pytest
 
-from repro.core.cost import TrafficCostModel
+from repro.core.cost import EnergyCostModel, TrafficCostModel
 from repro.core.policies import make_schedule
 from repro.core.traffic import compute_traffic
+from repro.wavecore.simulator import simulate_step
 from repro.zoo import inception_v4
 
 
@@ -43,6 +44,41 @@ def test_bench_adaptive_auto_latency_schedule(benchmark, inc4):
     )
     assert sched.num_blocks == len(inc4.blocks)
     assert sched.objective == "latency"
+
+
+def test_bench_adaptive_auto_energy_schedule(benchmark, inc4):
+    """The energy objective composes the traffic walk, the per-layer
+    timing, AND the per-access energy constants per candidate group —
+    this tracks what simulated joules cost over simulated seconds."""
+    sched = benchmark(
+        make_schedule, inc4, "mbs-auto", objective="energy"
+    )
+    assert sched.num_blocks == len(inc4.blocks)
+    assert sched.objective == "energy"
+
+
+def test_bench_adaptive_auto_lex_schedule(benchmark, inc4):
+    """The lexicographic composite prices every candidate through both
+    the latency and the traffic model; this tracks the tie-break's cost
+    over the pure latency objective."""
+    sched = benchmark(
+        make_schedule, inc4, "mbs-auto", objective="latency+traffic"
+    )
+    assert sched.num_blocks == len(inc4.blocks)
+    assert sched.objective == "latency+traffic"
+
+
+def test_bench_energy_cost_model_full_schedule(benchmark, inc4):
+    """Pricing a complete schedule's joules through the cost model
+    (cold memo), checked against the simulator it must reproduce."""
+    sched = make_schedule(inc4, "mbs-auto", objective="energy")
+    total = simulate_step(inc4, sched).energy.total_j
+
+    def price():
+        model = EnergyCostModel.for_schedule(inc4, sched)
+        return model.schedule_cost(sched)
+
+    assert benchmark(price) == total
 
 
 def test_bench_traffic_cost_model_full_schedule(benchmark, inc4):

@@ -11,10 +11,8 @@ fast=0
 echo "== lint =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src tests benchmarks examples scripts
-    # warn-only until the one-time whole-tree `ruff format` commit lands
-    # (mirrors CI's staged rollout; see ROADMAP)
-    ruff format --check src tests benchmarks examples scripts \
-        || echo "format drift (non-blocking): run 'ruff format src tests benchmarks examples scripts'"
+    # blocking, mirroring CI (the staged warn-only rollout is over)
+    ruff format --check src tests benchmarks examples scripts
 else
     echo "ruff not installed; skipping lint + format check (CI will run them)"
 fi

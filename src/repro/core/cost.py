@@ -40,6 +40,31 @@ A third implementation prices *seconds* instead of bytes:
   extra DRAM traffic on compute-bound layers is free in time but not in
   bytes — the two objectives genuinely diverge on tight buffers, and
   ``mbs-auto --objective latency`` exists to exploit that.
+
+A fourth prices *joules* (paper Sec. 6):
+
+* :class:`EnergyCostModel` — simulated step energy.  Each member block
+  is priced by :func:`repro.core.stepenergy.block_step_energy`: DRAM
+  and global-buffer bytes from the traffic walkers, MACs and block time
+  from the WaveCore timing model, composed through the same per-access
+  / per-op constants (:func:`repro.wavecore.energy.step_energy`) the
+  simulator applies, so ``schedule_cost(sched) ==
+  simulate_step(net, sched, cfg).energy.total_j`` bit-for-bit.  Energy
+  correlates with neither objective alone — DRAM accesses dominate a
+  memory-bound step's joules, static power tracks time, and the
+  global-buffer component charges sub-batch re-streaming even when it
+  hides under compute — so ``mbs-auto --objective energy`` is a third
+  genuinely distinct optimum.
+
+Finally, :class:`LexicographicCostModel` composes any two of the above
+into a tie-broken objective: candidates are compared by the primary
+cost first and by the secondary only on exact primary ties
+(:class:`LexCost` is the ordered value type the DP accumulates).  The
+shipped ``objective="latency+traffic"`` pairing minimizes seconds and
+tie-breaks on bytes, which removes the latency DP's free-bytes
+pathology: bytes that hide under compute are free in *time*, so the
+pure latency objective spends them arbitrarily — the tie-break picks,
+among the time-optimal partitions, one that spends the fewest.
 """
 from __future__ import annotations
 
@@ -47,11 +72,13 @@ from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.core.schedule import Schedule
+from repro.core.stepenergy import block_step_energy, schedule_step_energy
 from repro.core.steptime import block_step_time, schedule_step_time
 from repro.core.traffic import TrafficOptions, block_traffic
 from repro.graph.network import Network
 from repro.types import WORD_BYTES, ceil_div
 from repro.wavecore.config import DEFAULT_CONFIG, WaveCoreConfig
+from repro.wavecore.energy import DEFAULT_ENERGY, EnergyParams
 
 
 @runtime_checkable
@@ -178,6 +205,23 @@ class _GroupView:
         return self._branch_reuse
 
 
+def _check_schedule_env(model, sched: Schedule) -> None:
+    """Reject a schedule whose environment differs from the model's.
+
+    The walker-backed models' ``schedule_cost`` reads the environment
+    flags from the *schedule* while ``group_cost`` reads them from the
+    *model*; a mismatch would silently break the bit-for-bit agreement
+    between the two, so every such model guards with this check.
+    """
+    env = (sched.mini_batch, sched.relu_mask, sched.layer_reuse_bytes)
+    mine = (model.mini_batch, model.relu_mask, model.layer_reuse_bytes)
+    if env != mine:
+        raise ValueError(
+            f"schedule environment {env} does not match this model's "
+            f"{mine}; build the model with for_schedule()"
+        )
+
+
 def _memoized_group_cost(
     model,
     blocks: Sequence[int],
@@ -293,8 +337,10 @@ class TrafficCostModel:
 
         Equals ``compute_traffic(net, sched).total_bytes`` for any
         schedule whose environment matches this model (asserted for
-        every zoo network × policy in the test suite).
+        every zoo network × policy in the test suite; a mismatched
+        environment is rejected rather than silently mispriced).
         """
+        _check_schedule_env(self, sched)
         total = 0
         for g in sched.groups:
             reuse = sched.branch_reuse_of(g.blocks[0])
@@ -391,11 +437,227 @@ class LatencyCostModel:
         ``group_cost``, so a mismatch would silently break that
         agreement.
         """
-        env = (sched.mini_batch, sched.relu_mask, sched.layer_reuse_bytes)
-        mine = (self.mini_batch, self.relu_mask, self.layer_reuse_bytes)
-        if env != mine:
-            raise ValueError(
-                f"schedule environment {env} does not match this model's "
-                f"{mine}; build the model with for_schedule()"
-            )
+        _check_schedule_env(self, sched)
         return schedule_step_time(self.net, sched, self.cfg, self.options)
+
+
+@dataclass(frozen=True)
+class EnergyCostModel:
+    """Simulated-step-energy cost model (joules, not bytes or seconds).
+
+    ``group_cost`` prices a candidate group by composing, per member
+    block, the exact traffic walk (DRAM plus global-buffer bytes), the
+    exact per-layer WaveCore timing (for the static-power share), and
+    the per-access/per-op constants of
+    :func:`repro.wavecore.energy.step_energy` — the same composition
+    :func:`repro.wavecore.simulator.simulate_step` applies to its
+    chip-level totals.  A block's joules depend only on the block plus
+    its owning group's facts, so per-group sums decompose the step
+    energy the same way :class:`LatencyCostModel` decomposes seconds;
+    ``boundary_cost`` is identically zero because boundary traffic is
+    charged to the adjacent blocks by the walkers and an off-chip
+    boundary consumes no compute or static energy of its own.
+
+    Costs are chip-level joules and comparable only across candidates
+    priced by one instance (fixed network, mini-batch, hardware config,
+    energy calibration).
+    """
+
+    net: Network
+    mini_batch: int
+    relu_mask: bool = True
+    layer_reuse_bytes: int = 0
+    cfg: WaveCoreConfig = DEFAULT_CONFIG
+    options: TrafficOptions = field(default_factory=TrafficOptions)
+    params: EnergyParams = DEFAULT_ENERGY
+    #: Memoized per-block joules.  The static share depends on the
+    #: effective sub-batch (the iteration sequence shapes the GEMM
+    #: timings) and the byte shares on the group flags, so the key
+    #: extends the traffic memo's with ``sub_batch`` — same shape as
+    #: the latency model's.
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @classmethod
+    def for_schedule(
+        cls, net: Network, sched: Schedule,
+        cfg: WaveCoreConfig | None = None,
+        options: TrafficOptions | None = None,
+        params: EnergyParams = DEFAULT_ENERGY,
+    ) -> "EnergyCostModel":
+        """Model whose flags match an existing schedule's environment."""
+        from repro.wavecore.config import config_for_policy
+
+        return cls(
+            net=net,
+            mini_batch=sched.mini_batch,
+            relu_mask=sched.relu_mask,
+            layer_reuse_bytes=sched.layer_reuse_bytes,
+            cfg=cfg if cfg is not None else config_for_policy(sched.policy),
+            options=options or TrafficOptions(),
+            params=params,
+        )
+
+    def group_cost(
+        self,
+        blocks: Sequence[int],
+        sub_batch: int,
+        branch_reuse: bool,
+        block_fused: Sequence[bool] | None = None,
+    ) -> float:
+        return _memoized_group_cost(
+            self, blocks, sub_batch, branch_reuse, block_fused,
+            price=lambda view, idx, eff_sub: block_step_energy(
+                self.net, view, idx, eff_sub, self.cfg, self.options,
+                self.params,
+            ),
+            key_has_sub=True,
+            zero=0.0,
+        )
+
+    def boundary_cost(self, idx: int, branch_reuse: bool) -> float:
+        return 0.0  # boundary traffic is charged to the adjacent blocks
+
+    def streaming_cost(self, idx: int) -> float:
+        """Conventional layerwise streaming of one block (spilled group)."""
+        return self.group_cost((idx,), 0, False, block_fused=(False,))
+
+    def schedule_cost(self, sched: Schedule) -> float:
+        """Exact simulated step energy of a full schedule, in joules.
+
+        Equals ``simulate_step(net, sched, cfg).energy.total_j``
+        bit-for-bit (asserted for every zoo network × policy in the
+        test suite); per-group ``group_cost`` sums agree up to float
+        association.  As with the latency model, the schedule's
+        environment must match this model's.
+        """
+        _check_schedule_env(self, sched)
+        return schedule_step_energy(
+            self.net, sched, self.cfg, self.options, self.params
+        ).total_j
+
+
+class LexCost:
+    """Additive, lexicographically ordered cost value.
+
+    The grouping DPs accumulate costs with ``+`` (starting from the
+    float ``0.0`` sentinel) and compare with ``<`` (against the float
+    ``inf`` sentinel on first touch), so a composite objective only
+    needs a value type closed under those operations.  Addition is
+    componentwise; comparison is strict lexicographic — the secondary
+    component participates only on *exact* primary ties, which is what
+    makes the primary component of the DP's optimum bit-identical to
+    what a primary-only DP computes (adding ``0.0`` and comparing
+    against ``inf`` never perturb a float).
+    """
+
+    __slots__ = ("primary", "secondary")
+
+    def __init__(self, primary: float, secondary: float):
+        self.primary = primary
+        self.secondary = secondary
+
+    def __add__(self, other):
+        if isinstance(other, LexCost):
+            return LexCost(
+                self.primary + other.primary,
+                self.secondary + other.secondary,
+            )
+        if isinstance(other, (int, float)) and other == 0:
+            return self  # the optimizers' 0.0 accumulator seed
+        # a nonzero scalar has no lexicographic meaning — refusing it
+        # keeps a stray float cost from silently skewing either axis
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        if isinstance(other, LexCost):
+            return LexCost(
+                self.primary - other.primary,
+                self.secondary - other.secondary,
+            )
+        if isinstance(other, (int, float)) and other == 0:
+            return self  # outer-edge boundary_cost sentinel (0.0)
+        return NotImplemented
+
+    def __gt__(self, other):
+        if isinstance(other, LexCost):
+            if self.primary != other.primary:
+                return self.primary > other.primary
+            return self.secondary > other.secondary
+        if isinstance(other, (int, float)):
+            return self.primary > other  # greedy's 0.0 gain threshold
+        return NotImplemented
+
+    def __lt__(self, other):
+        if isinstance(other, LexCost):
+            if self.primary != other.primary:
+                return self.primary < other.primary
+            return self.secondary < other.secondary
+        if isinstance(other, (int, float)):
+            return self.primary < other  # float("inf") DP sentinel
+        return NotImplemented
+
+    def __eq__(self, other):
+        if isinstance(other, LexCost):
+            return (self.primary == other.primary
+                    and self.secondary == other.secondary)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.primary, self.secondary))
+
+    def __repr__(self):
+        return f"LexCost({self.primary!r}, {self.secondary!r})"
+
+
+@dataclass(frozen=True)
+class LexicographicCostModel:
+    """Composite objective: minimize ``primary``, tie-break on ``secondary``.
+
+    Both sub-models see the identical group/boundary queries and their
+    prices ride together in a :class:`LexCost`, so the DP explores the
+    exact same search space with the exact same primary arithmetic a
+    primary-only run performs — the optimum's primary cost is therefore
+    bit-identical to the primary-only optimum's, while among partitions
+    achieving it the secondary cost picks the cheapest (the shipped
+    ``latency+traffic`` pairing: never slower than ``objective=
+    "latency"``, never spending more bytes than it, property-tested
+    zoo-wide).  Requires sub-models whose costs decompose identically
+    (both charge boundaries to adjacent blocks — true for every
+    walker-backed model here).
+    """
+
+    primary: CostModel
+    secondary: CostModel
+
+    def group_cost(
+        self,
+        blocks: Sequence[int],
+        sub_batch: int,
+        branch_reuse: bool,
+        block_fused: Sequence[bool] | None = None,
+    ) -> LexCost:
+        return LexCost(
+            self.primary.group_cost(blocks, sub_batch, branch_reuse,
+                                    block_fused),
+            self.secondary.group_cost(blocks, sub_batch, branch_reuse,
+                                      block_fused),
+        )
+
+    def boundary_cost(self, idx: int, branch_reuse: bool) -> LexCost:
+        return LexCost(
+            self.primary.boundary_cost(idx, branch_reuse),
+            self.secondary.boundary_cost(idx, branch_reuse),
+        )
+
+    def streaming_cost(self, idx: int) -> LexCost:
+        """Conventional layerwise streaming of one block (spilled group)."""
+        return self.group_cost((idx,), 0, False, block_fused=(False,))
+
+    def schedule_cost(self, sched: Schedule) -> LexCost:
+        """Exact (primary, secondary) totals of a full schedule."""
+        return LexCost(
+            self.primary.schedule_cost(sched),
+            self.secondary.schedule_cost(sched),
+        )

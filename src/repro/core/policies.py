@@ -24,11 +24,23 @@ same byte-accurate model the traffic evaluator is built from
 ``objective="latency"`` — the simulated-step-time model
 (:class:`~repro.core.cost.LatencyCostModel`), since weight double
 buffering makes the bytes-optimal schedule not always the time-optimal
-one.
+one.  Two further objectives complete the paper's result triple:
+``objective="energy"`` optimizes simulated joules
+(:class:`~repro.core.cost.EnergyCostModel`, Sec. 6), and
+``objective="latency+traffic"`` is the lexicographic composite —
+minimize seconds, tie-break on bytes — that removes the latency DP's
+free-bytes pathology (bytes hiding under compute are free in time, so
+the pure latency objective spends them arbitrarily).
 """
 from __future__ import annotations
 
-from repro.core.cost import LatencyCostModel, ProxyCostModel, TrafficCostModel
+from repro.core.cost import (
+    EnergyCostModel,
+    LatencyCostModel,
+    LexicographicCostModel,
+    ProxyCostModel,
+    TrafficCostModel,
+)
 from repro.core.traffic import TrafficOptions
 from repro.core.grouping import (
     GroupingProblem,
@@ -46,9 +58,14 @@ from repro.wavecore.config import WaveCoreConfig, config_for_policy
 POLICIES = ("baseline", "archopt", "il", "mbs-fs", "mbs1", "mbs2",
             "mbs1-opt", "mbs2-opt", "mbs-auto")
 
-#: Objectives the adaptive policy can optimize: DRAM bytes or simulated
-#: step seconds.  Fixed policies always optimize the paper's proxy.
-OBJECTIVES = ("traffic", "latency")
+#: Objectives the adaptive policy can optimize: DRAM bytes, simulated
+#: step seconds, seconds-then-bytes lexicographic, or simulated joules.
+#: Fixed policies always optimize the paper's proxy.
+OBJECTIVES = ("traffic", "latency", "latency+traffic", "energy")
+
+#: Objectives that price the simulated hardware and therefore accept
+#: (and need) a pinned :class:`~repro.wavecore.config.WaveCoreConfig`.
+HARDWARE_OBJECTIVES = ("latency", "latency+traffic", "energy")
 
 #: Default per-core global buffer (paper Sec. 4.2).
 DEFAULT_BUFFER_BYTES = 10 * MIB
@@ -113,27 +130,53 @@ def _auto_groups(
     the exact model of the chosen objective: the byte-accurate
     :class:`~repro.core.cost.TrafficCostModel` (the same walkers
     :func:`~repro.core.traffic.compute_traffic` runs on the finished
-    schedule), or — ``objective="latency"`` — the simulated-step-time
+    schedule); ``objective="latency"`` — the simulated-step-time
     :class:`~repro.core.cost.LatencyCostModel` (the same per-layer
-    timing :func:`~repro.wavecore.simulator.simulate_step` runs).
+    timing :func:`~repro.wavecore.simulator.simulate_step` runs);
+    ``objective="energy"`` — the simulated-step-energy
+    :class:`~repro.core.cost.EnergyCostModel` (the same per-access
+    constants the simulator prices); or ``objective="latency+traffic"``
+    — the lexicographic composite whose primary is the *identical*
+    latency model (bit-identical seconds, so the optimum's step time
+    matches the pure latency objective's) with exact bytes breaking
+    ties.
     """
     feas_plain = per_block_sub_batches(
         net, buffer_bytes, n_batch, branch_reuse=False, word_bytes=word_bytes
     )
+    options = TrafficOptions(word_bytes=word_bytes)
+    if objective in HARDWARE_OBJECTIVES and cfg is None:
+        cfg = config_for_policy("mbs-auto", buffer_bytes=buffer_bytes)
     if objective == "latency":
-        if cfg is None:
-            cfg = config_for_policy("mbs-auto", buffer_bytes=buffer_bytes)
         model = LatencyCostModel(
             net, n_batch, relu_mask=relu_mask,
             layer_reuse_bytes=layer_reuse_bytes,
-            cfg=cfg,
-            options=TrafficOptions(word_bytes=word_bytes),
+            cfg=cfg, options=options,
+        )
+    elif objective == "latency+traffic":
+        model = LexicographicCostModel(
+            primary=LatencyCostModel(
+                net, n_batch, relu_mask=relu_mask,
+                layer_reuse_bytes=layer_reuse_bytes,
+                cfg=cfg, options=options,
+            ),
+            secondary=TrafficCostModel(
+                net, n_batch, relu_mask=relu_mask,
+                layer_reuse_bytes=layer_reuse_bytes,
+                options=options,
+            ),
+        )
+    elif objective == "energy":
+        model = EnergyCostModel(
+            net, n_batch, relu_mask=relu_mask,
+            layer_reuse_bytes=layer_reuse_bytes,
+            cfg=cfg, options=options,
         )
     else:
         model = TrafficCostModel(
             net, n_batch, relu_mask=relu_mask,
             layer_reuse_bytes=layer_reuse_bytes,
-            options=TrafficOptions(word_bytes=word_bytes),
+            options=options,
         )
     groups: list[GroupPlan] = []
     for seg in split_segments(feas_plain):
@@ -177,15 +220,16 @@ def make_schedule(
     """Build the schedule for one of the paper's configurations.
 
     ``objective`` selects what the adaptive ``mbs-auto`` policy
-    minimizes: DRAM bytes (``"traffic"``, the default) or simulated step
-    seconds (``"latency"``).  The fixed policies optimize the paper's
-    closed-form proxy regardless, so any objective other than
-    ``"traffic"`` is rejected for them rather than silently ignored.
-    ``cfg`` pins the hardware the latency objective prices — pass the
-    same config the schedule will be simulated on (memory system,
-    double-buffering mode); it defaults to the policy's Tab. 3
-    configuration and is rejected for any other objective, where it
-    could only mislead.
+    minimizes: DRAM bytes (``"traffic"``, the default), simulated step
+    seconds (``"latency"``), seconds with bytes breaking exact ties
+    (``"latency+traffic"``), or simulated joules (``"energy"``).  The
+    fixed policies optimize the paper's closed-form proxy regardless,
+    so any objective other than ``"traffic"`` is rejected for them
+    rather than silently ignored.  ``cfg`` pins the hardware the
+    latency/energy-family objectives price — pass the same config the
+    schedule will be simulated on (memory system, double-buffering
+    mode); it defaults to the policy's Tab. 3 configuration and is
+    rejected for the traffic objective, where it could only mislead.
     """
     policy = policy.lower()
     if policy not in POLICIES:
@@ -199,10 +243,11 @@ def make_schedule(
             f"objective {objective!r} requires the adaptive 'mbs-auto' "
             f"policy; {policy!r} optimizes the paper's fixed proxy"
         )
-    if cfg is not None and objective != "latency":
+    if cfg is not None and objective not in HARDWARE_OBJECTIVES:
         raise ValueError(
-            "cfg only parameterizes the latency objective; the "
-            f"{objective!r} objective does not price hardware"
+            "cfg only parameterizes the hardware-priced objectives "
+            f"{HARDWARE_OBJECTIVES}; the {objective!r} objective does "
+            "not price hardware"
         )
     n_batch = net.default_mini_batch if mini_batch is None else mini_batch
 

@@ -62,8 +62,10 @@ class Schedule:
     #: 0 disables the mechanism (pure conventional streaming).
     layer_reuse_bytes: int = 0
     #: What the schedule's grouping was optimized for: DRAM ``"traffic"``
-    #: (every fixed policy, and mbs-auto's default) or simulated step
-    #: ``"latency"`` (``mbs-auto --objective latency``).
+    #: (every fixed policy, and mbs-auto's default), simulated step
+    #: ``"latency"``, the lexicographic ``"latency+traffic"`` (seconds
+    #: first, bytes on exact ties), or simulated step ``"energy"``
+    #: (``mbs-repro schedule --objective``; see repro.core.policies).
     objective: str = "traffic"
 
     def __post_init__(self) -> None:

@@ -28,6 +28,7 @@ from repro.experiments import (  # noqa: F401  (imports register the specs)
     ablation_precision,
     headline,
     latency_sweep,
+    energy_sweep,
     scalability,
     export,
 )

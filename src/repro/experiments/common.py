@@ -8,7 +8,11 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.core.policies import DEFAULT_BUFFER_BYTES, make_schedule
+from repro.core.policies import (
+    DEFAULT_BUFFER_BYTES,
+    HARDWARE_OBJECTIVES,
+    make_schedule,
+)
 from repro.wavecore.config import config_for_policy
 from repro.wavecore.report import StepReport
 from repro.wavecore.simulator import simulate_step
@@ -38,12 +42,13 @@ def evaluate(
     ``archopt`` runs the Baseline schedule on double-buffered hardware;
     every other policy name maps 1:1 to a schedule.  ``objective``
     selects what the adaptive ``mbs-auto`` grouping minimizes (DRAM
-    ``"traffic"`` or simulated step ``"latency"``); fixed policies
+    ``"traffic"``, simulated step ``"latency"``, the lexicographic
+    ``"latency+traffic"``, or simulated ``"energy"``); fixed policies
     accept only the default.
     """
-    if objective == "latency" and unlimited_bandwidth:
+    if objective in HARDWARE_OBJECTIVES and unlimited_bandwidth:
         raise ValueError(
-            "objective='latency' optimizes bandwidth-limited step time; "
+            f"objective={objective!r} prices bandwidth-limited hardware; "
             "under unlimited_bandwidth the reported metric is a different "
             "one, so the combination would mislead"
         )
@@ -52,9 +57,10 @@ def evaluate(
     cfg = config_for_policy(policy, memory=memory, buffer_bytes=buffer_bytes)
     sched = make_schedule(
         net, sched_policy, buffer_bytes=buffer_bytes, objective=objective,
-        # the latency DP must price the exact hardware we simulate on
-        # (memory bandwidth shifts the compute/memory-bound crossover)
-        cfg=cfg if objective == "latency" else None,
+        # the hardware-priced DPs must price the exact hardware we
+        # simulate on (memory bandwidth shifts the compute/memory-bound
+        # crossover; memory type shifts per-bit DRAM energy)
+        cfg=cfg if objective in HARDWARE_OBJECTIVES else None,
     )
     return simulate_step(
         net, sched, cfg, unlimited_bandwidth=unlimited_bandwidth

@@ -1,7 +1,8 @@
 """Headline numbers: the abstract's 75 % DRAM-traffic cut, 53 % speedup,
 26 % energy saving (deep-CNN averages), and the Sec. 3 4.0× traffic cut —
 plus what the adaptive ``mbs-auto`` policy buys on top of MBS2 under
-each of its objectives (DRAM bytes and simulated step time)."""
+each of its objectives (DRAM bytes, simulated step time, and simulated
+step energy)."""
 from __future__ import annotations
 
 from repro.experiments.common import evaluate
@@ -20,6 +21,7 @@ def run(networks: tuple[str, ...] = DEEP_CNNS) -> dict:
         mbs2 = evaluate(name, "mbs2")
         auto = evaluate(name, "mbs-auto")
         auto_lat = evaluate(name, "mbs-auto", objective="latency")
+        auto_en = evaluate(name, "mbs-auto", objective="energy")
         per_net[name] = {
             "traffic_saving": 1.0 - mbs2.dram_bytes / arch.dram_bytes,
             "traffic_cut_x": arch.dram_bytes / mbs2.dram_bytes,
@@ -30,6 +32,12 @@ def run(networks: tuple[str, ...] = DEEP_CNNS) -> dict:
             "auto_vs_mbs2_x": mbs2.dram_bytes / auto.dram_bytes,
             "auto_lat_speedup_x": base.time_s / auto_lat.time_s,
             "auto_lat_time_gain_x": auto.time_s / auto_lat.time_s,
+            "auto_en_saving": (
+                1.0 - auto_en.energy.total_j / base.energy.total_j
+            ),
+            "auto_en_vs_mbs2_x": (
+                mbs2.energy.total_j / auto_en.energy.total_j
+            ),
         }
     n = len(per_net)
     avg = {
@@ -51,6 +59,8 @@ def render(res: dict) -> None:
             fmt(v["auto_vs_mbs2_x"]) + "x",
             fmt(v["auto_lat_speedup_x"]) + "x",
             fmt(v["auto_lat_time_gain_x"]) + "x",
+            fmt(v["auto_en_saving"] * 100, 1) + "%",
+            fmt(v["auto_en_vs_mbs2_x"]) + "x",
         ]
 
     rows = [_row(name, v) for name, v in res["per_network"].items()]
@@ -58,7 +68,7 @@ def render(res: dict) -> None:
     print(format_table(
         ["network", "DRAM saving", "traffic cut", "perf gain",
          "energy saving", "auto cut", "auto/mbs2", "lat speedup",
-         "lat gain"],
+         "lat gain", "en(auto) saving", "en auto/mbs2"],
         rows,
         title=(
             "Headline — MBS2 vs conventional training "

@@ -32,14 +32,15 @@ result manifests to DIR, ``--timeout S`` per-task budget.
 ``fingerprint`` prints the package code fingerprint the result cache is
 keyed on — CI uses it as the ``actions/cache`` key for ``.mbs-cache``
 so unchanged code replays cached manifests across pushes.  ``schedule
---objective latency`` builds the adaptive schedule that minimizes
-simulated step time instead of DRAM bytes.
+--objective latency|latency+traffic|energy`` builds the adaptive
+schedule that minimizes simulated step time / time-then-bytes
+lexicographic / simulated step energy instead of DRAM bytes.
 
 Legacy form ``mbs-repro <artifact> [driver args]`` still dispatches to
 the driver module directly (always recomputes).
 
 Artifacts: fig3 fig4 fig6 fig10 fig11 fig12 fig13 fig14 tab2 ablation
-precision headline scaling latency_sweep.
+precision headline scaling latency_sweep energy_sweep.
 """
 from __future__ import annotations
 
@@ -65,11 +66,16 @@ SUBCOMMANDS = ("run", "all", "sweep", "bench", "schedule", "export",
 
 def _schedule_command(rest: list[str]) -> int:
     """Inspect the MBS schedule of any zoo network from the shell."""
-    from repro.core.policies import OBJECTIVES, POLICIES, make_schedule
+    from repro.core.policies import (
+        HARDWARE_OBJECTIVES,
+        OBJECTIVES,
+        POLICIES,
+        make_schedule,
+    )
     from repro.core.traffic import compute_traffic
     from repro.types import MIB
     from repro.wavecore.config import config_for_policy
-    from repro.wavecore.simulator import step_time
+    from repro.wavecore.simulator import simulate_step
     from repro.zoo import build
 
     parser = argparse.ArgumentParser(
@@ -87,7 +93,7 @@ def _schedule_command(rest: list[str]) -> int:
         return 2
     if not args.network:
         print("usage: mbs-repro schedule <network> [policy] [buffer MiB] "
-              "[--objective traffic|latency]")
+              f"[--objective {'|'.join(OBJECTIVES)}]")
         print(f"policies: {' '.join(POLICIES)}  (default: mbs2)")
         return 2
     cfg = config_for_policy(args.policy, buffer_bytes=args.buffer_mib * MIB)
@@ -96,7 +102,7 @@ def _schedule_command(rest: list[str]) -> int:
         sched = make_schedule(
             net, args.policy, buffer_bytes=args.buffer_mib * MIB,
             objective=args.objective,
-            cfg=cfg if args.objective == "latency" else None,
+            cfg=cfg if args.objective in HARDWARE_OBJECTIVES else None,
         )
     except (KeyError, ValueError) as exc:
         # unknown network / policy / objective combination: usage error
@@ -107,8 +113,10 @@ def _schedule_command(rest: list[str]) -> int:
     print(f"\nDRAM traffic/step: {rep.total_bytes / 2**30:.2f} GiB")
     for cat, nbytes in sorted(rep.by_category().items(), key=lambda kv: -kv[1]):
         print(f"  {cat.value:18s} {nbytes / 2**20:10.1f} MiB")
-    print(f"\nsimulated step time: "
-          f"{step_time(net, sched, cfg, traffic=rep) * 1e3:.3f} ms")
+    step = simulate_step(net, sched, cfg, traffic=rep)
+    print(f"\nsimulated step time: {step.time_s * 1e3:.3f} ms")
+    print(f"simulated step energy: {step.energy.total_j * 1e3:.3f} mJ "
+          f"(DRAM share {step.energy.share('dram') * 100:.1f}%)")
     return 0
 
 

@@ -96,6 +96,15 @@ class TestTrafficCostModelConsistency:
         assert model.boundary_cost(0, True) == 0
         assert model.boundary_cost(0, False) == 0
 
+    def test_schedule_cost_rejects_mismatched_environment(self, nets):
+        """A mismatched model would misprice silently — reject instead
+        (same guard as the latency/energy models)."""
+        net = nets["toy_chain"]
+        sched = make_schedule(net, "mbs2")
+        model = TrafficCostModel(net, mini_batch=sched.mini_batch * 2)
+        with pytest.raises(ValueError, match="environment"):
+            model.schedule_cost(sched)
+
     def test_group_cost_memo_is_transparent(self, nets):
         net = nets["toy_residual"]
         model = TrafficCostModel(net, 32, relu_mask=True)
@@ -342,9 +351,10 @@ class TestMbsAutoLatency:
     def test_invalid_objective_combinations_raise(self, nets):
         net = nets["toy_chain"]
         with pytest.raises(ValueError, match="unknown objective"):
-            make_schedule(net, "mbs-auto", objective="energy")
-        with pytest.raises(ValueError, match="requires the adaptive"):
-            make_schedule(net, "mbs2", objective="latency")
+            make_schedule(net, "mbs-auto", objective="joules")
+        for objective in ("latency", "latency+traffic", "energy"):
+            with pytest.raises(ValueError, match="requires the adaptive"):
+                make_schedule(net, "mbs2", objective=objective)
 
     def test_cfg_rejected_for_traffic_objective(self, nets):
         from repro.wavecore.config import DEFAULT_CONFIG

@@ -24,7 +24,7 @@ def test_registry_complete():
     assert set(ALL_EXPERIMENTS) == {
         "fig3", "fig4", "fig6", "fig10", "fig11", "fig12", "fig13",
         "fig14", "tab2", "ablation", "precision", "headline", "scaling",
-        "latency_sweep",
+        "latency_sweep", "energy_sweep",
     }
 
 
@@ -127,7 +127,14 @@ class TestHeadline:
             "perf_improvement", "energy_saving",
             "auto_traffic_cut_x", "auto_vs_mbs2_x",
             "auto_lat_speedup_x", "auto_lat_time_gain_x",
+            "auto_en_saving", "auto_en_vs_mbs2_x",
         }
+
+    def test_energy_objective_never_worse_than_mbs2(self):
+        res = headline.run(networks=("resnet50",))
+        v = res["per_network"]["resnet50"]
+        assert v["auto_en_vs_mbs2_x"] >= 1.0 - 1e-12
+        assert v["auto_en_saving"] >= v["energy_saving"] - 1e-12
 
     def test_latency_objective_never_slower_than_byte_objective(self):
         res = headline.run(networks=("resnet50",))
@@ -165,6 +172,47 @@ class TestLatencySweep:
                 assert lat <= res["cells"][(label, buf)]["time_s"] * (
                     1 + 1e-12
                 ), (label, buf)
+
+    def test_tiebreak_strips_bytes_never_adds_them(self):
+        res = latency_sweep.run("resnet50", buffers_mib=(1, 10))
+        for buf in (1, 10):
+            d = res["divergence"][buf]
+            assert d["tiebreak_bytes"] <= 1.0
+            lat = res["cells"][("mbs-auto:lat", buf)]
+            lex = res["cells"][("mbs-auto:lat+tra", buf)]
+            assert lex["time_s"] == pytest.approx(lat["time_s"], rel=1e-12)
+
+
+class TestEnergySweep:
+    def test_cells_cover_grid_and_dominance_bounds(self):
+        from repro.experiments import energy_sweep
+
+        res = energy_sweep.run("resnet50", buffers_mib=(1, 5))
+        labels = set(energy_sweep.POLICY_SPECS)
+        assert {k[0] for k in res["cells"]} == labels
+        assert {k[1] for k in res["cells"]} == {1, 5}
+        for buf in (1, 5):
+            # the energy objective can only gain joules vs every other
+            # policy: its DP searches a superset of their partitions
+            assert res["dominance"][buf]["energy_gain"] >= 1.0 - 1e-12
+
+    def test_savings_relative_to_baseline(self):
+        from repro.experiments import energy_sweep
+
+        res = energy_sweep.run("resnet50", buffers_mib=(10,))
+        base = res["cells"][("baseline", 10)]["energy_j"]
+        for label in ("mbs2", "mbs-auto:en"):
+            cell = res["cells"][(label, 10)]["energy_j"]
+            assert res["savings"][(label, 10)] == pytest.approx(
+                1.0 - cell / base
+            )
+
+    def test_energy_objective_rejects_unlimited_bandwidth(self):
+        from repro.experiments.common import evaluate
+
+        with pytest.raises(ValueError, match="unlimited_bandwidth"):
+            evaluate("toy_chain", "mbs-auto", objective="energy",
+                     unlimited_bandwidth=True)
 
 
 class TestRunnerCli:

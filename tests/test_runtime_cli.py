@@ -45,6 +45,22 @@ class TestExitCodes:
         assert main(["run", "fig3", "--set", "net_name='no_such_net'",
                      "--cache-dir", cache_dir]) == 1
 
+    def test_mistyped_set_value_fails_inside_engine(self, capsys, cache_dir):
+        # a well-formed --set whose value has the wrong type is not a
+        # usage error: the produce-fn raises and the task fails (exit 1)
+        assert main(["run", "fig3", "--set", "buffer_mib='ten'",
+                     "--cache-dir", cache_dir]) == 1
+        assert main(["run", "latency_sweep", "--set", "buffers_mib=0",
+                     "--cache-dir", cache_dir]) == 1
+
+    def test_sweep_unknown_axis_is_usage_error(self, capsys, cache_dir):
+        assert main(["sweep", "fig3", "--set", "bogus=1,2",
+                     "--cache-dir", cache_dir]) == 2
+
+    def test_sweep_bad_set_syntax(self, capsys, cache_dir):
+        assert main(["sweep", "fig3", "--set", "novalue",
+                     "--cache-dir", cache_dir]) == 2
+
     def test_legacy_dispatch_fig3(self, capsys):
         assert main(["fig3"]) == 0
         assert "Fig. 3" in capsys.readouterr().out
@@ -54,6 +70,7 @@ class TestExitCodes:
         out = capsys.readouterr().out
         assert "DRAM traffic/step" in out
         assert "simulated step time" in out
+        assert "simulated step energy" in out
 
     def test_schedule_needs_network(self, capsys):
         assert main(["schedule"]) == 2
@@ -65,14 +82,37 @@ class TestExitCodes:
         assert "objective=latency" in out
         assert "simulated step time" in out
 
-    def test_schedule_rejects_objective_for_fixed_policy(self, capsys):
+    def test_schedule_energy_objective(self, capsys):
+        assert main(["schedule", "toy_inception", "mbs-auto", "1",
+                     "--objective", "energy"]) == 0
+        out = capsys.readouterr().out
+        assert "objective=energy" in out
+        assert "simulated step energy" in out
+
+    def test_schedule_lexicographic_objective(self, capsys):
+        assert main(["schedule", "toy_inception", "mbs-auto", "1",
+                     "--objective", "latency+traffic"]) == 0
+        assert "objective=latency+traffic" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("objective",
+                             ["latency", "latency+traffic", "energy"])
+    def test_schedule_rejects_objective_for_fixed_policy(
+            self, capsys, objective):
         assert main(["schedule", "toy_chain", "mbs2", "10",
-                     "--objective", "latency"]) == 2
+                     "--objective", objective]) == 2
         assert "requires the adaptive" in capsys.readouterr().err
 
     def test_schedule_rejects_unknown_objective(self, capsys):
+        # argparse rejects it against the OBJECTIVES choices list
         assert main(["schedule", "toy_chain", "mbs-auto", "10",
-                     "--objective", "energy"]) == 2
+                     "--objective", "joules"]) == 2
+
+    def test_schedule_rejects_unknown_policy(self, capsys):
+        assert main(["schedule", "toy_chain", "mbs3"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_schedule_rejects_non_integer_buffer(self, capsys):
+        assert main(["schedule", "toy_chain", "mbs2", "ten"]) == 2
 
     def test_schedule_unknown_network_is_usage_error(self, capsys):
         assert main(["schedule", "resnet5"]) == 2
