@@ -6,11 +6,19 @@ work.  ``mbs-auto`` prices every candidate group with the byte-accurate
 traffic walkers (memoized per block); these timings track what that
 exactness costs over the closed-form proxy.
 """
+import time
+
 import pytest
 
 from repro.core.cost import EnergyCostModel, TrafficCostModel
-from repro.core.policies import make_schedule
+from repro.core.policies import (
+    SweepCaches,
+    clear_pricing_caches,
+    make_schedule,
+    sweep_schedules,
+)
 from repro.core.traffic import compute_traffic
+from repro.types import KIB, MIB
 from repro.wavecore.simulator import simulate_step
 from repro.zoo import inception_v4
 
@@ -18,6 +26,12 @@ from repro.zoo import inception_v4
 @pytest.fixture(scope="module")
 def inc4():
     return inception_v4()
+
+
+def _log_spaced_buffers(n: int, lo: int = 16 * KIB, hi: int = 4 * MIB):
+    """``n`` log-spaced buffer sizes across the acceptance range."""
+    ratio = (hi / lo) ** (1 / (n - 1))
+    return [int(lo * ratio**i) for i in range(n)]
 
 
 def test_bench_greedy_proxy_schedule(benchmark, inc4):
@@ -66,6 +80,58 @@ def test_bench_adaptive_auto_lex_schedule(benchmark, inc4):
     )
     assert sched.num_blocks == len(inc4.blocks)
     assert sched.objective == "latency+traffic"
+
+
+def test_bench_sweep_schedules_energy(benchmark, inc4):
+    """A full 48-point energy buffer sweep through the batch API —
+    the workload the cross-sweep group-price memo exists for."""
+    buffers = _log_spaced_buffers(48)
+
+    def sweep():
+        return sweep_schedules(inc4, "mbs-auto", buffers,
+                               objective="energy")
+
+    scheds = benchmark(sweep)
+    assert len(scheds) == len(buffers)
+    assert all(s.objective == "energy" for s in scheds)
+
+
+def test_sweep_speedup_over_naive_loop(inc4):
+    """Acceptance: a dense energy buffer sweep through
+    :func:`sweep_schedules` is >= 10x faster than the naive per-point
+    loop it replaces, with bit-identical schedules.
+
+    The naive loop is the honest pre-batch-API cost: one cold
+    :func:`make_schedule` per point (cross-call pricing caches cleared
+    each time, exactly what a fresh per-point process would pay).  One
+    timed pass each — the ratio's margin (~2x at 256 points) dwarfs
+    timer noise, and a multi-round naive loop would take minutes."""
+    buffers = _log_spaced_buffers(256)
+
+    clear_pricing_caches(inc4)
+    t0 = time.perf_counter()
+    naive = []
+    for buf in buffers:
+        clear_pricing_caches(inc4)
+        naive.append(make_schedule(inc4, "mbs-auto", buffer_bytes=buf,
+                                   objective="energy"))
+    naive_s = time.perf_counter() - t0
+
+    clear_pricing_caches(inc4)
+    caches = SweepCaches()
+    t0 = time.perf_counter()
+    swept = sweep_schedules(inc4, "mbs-auto", buffers,
+                            objective="energy", caches=caches)
+    swept_s = time.perf_counter() - t0
+
+    assert swept == naive  # the speedup must be invisible in the output
+    assert caches.hits > 0
+    speedup = naive_s / swept_s
+    assert speedup >= 10.0, (
+        f"sweep API {speedup:.1f}x over naive loop "
+        f"({naive_s:.2f}s vs {swept_s:.2f}s for {len(buffers)} points); "
+        "acceptance floor is 10x"
+    )
 
 
 def test_bench_energy_cost_model_full_schedule(benchmark, inc4):

@@ -73,8 +73,12 @@ from typing import Protocol, Sequence, runtime_checkable
 
 from repro.core.schedule import Schedule
 from repro.core.stepenergy import block_step_energy, schedule_step_energy
-from repro.core.steptime import block_step_time, schedule_step_time
-from repro.core.traffic import TrafficOptions, block_traffic
+from repro.core.steptime import BlockPricer, block_step_time, schedule_step_time
+from repro.core.traffic import (
+    TrafficOptions,
+    block_reuse_class,
+    block_traffic_total,
+)
 from repro.graph.network import Network
 from repro.types import WORD_BYTES, ceil_div
 from repro.wavecore.config import DEFAULT_CONFIG, WaveCoreConfig
@@ -241,9 +245,15 @@ def _memoized_group_cost(
     disagree with what a walk actually saw.  ``key_has_sub`` extends the
     key with the effective sub-batch for models whose price depends on
     the iteration *sequence* (compute time does; byte counts depend only
-    on the iteration count).  Accumulation starts from ``zero`` and runs
-    in member order, keeping int sums exact and float association
-    reproducible.
+    on the iteration count).  The key also carries the environment flags
+    the walkers read — ``relu_mask`` always, and for unfused members
+    (the sole path that consults the per-layer reuse budget) the
+    *canonicalized* budget :func:`~repro.core.traffic.block_reuse_class`,
+    under which two budgets with identical per-layer fit outcomes share
+    one entry — so a memo dict may safely be *shared* across model
+    instances with different environments, e.g. the per-buffer models of
+    a sweep.  Accumulation starts from ``zero`` and runs in member
+    order, keeping int sums exact and float association reproducible.
     """
     if block_fused is None:
         block_fused = tuple(sub_batch > 0 for _ in blocks)
@@ -264,11 +274,57 @@ def _memoized_group_cost(
         key = (idx, fused, iterations, in_on, out_on, branch_reuse)
         if key_has_sub:
             key += (eff_sub,)
+        key += (model.relu_mask,)
+        if not fused:
+            key += (block_reuse_class(
+                model.net.blocks[idx], model.mini_batch,
+                model.options.word_bytes, model.layer_reuse_bytes,
+            ),)
         value = memo.get(key)
         if value is None:
             value = memo[key] = price(view, idx, eff_sub)
         total += value
     return total
+
+
+def _fused_block_floor(model, idx, subs_reuse, subs_noreuse, key_has_sub):
+    """Admissible per-block lower bound on fused group prices.
+
+    Prices block ``idx`` fused with *both* edges on-chip — never
+    costlier than any real candidate's edge placement, because an
+    on-chip edge only removes traffic terms and per-layer time/energy
+    are monotone in a layer's DRAM bytes — minimized over both
+    provisioning modes and every sub-batch the DP can actually assign
+    the block (``subs_*`` from the caller's feasibility running-mins).
+    Probes share ``model._memo`` under the same keys the group-cost loop
+    uses, so most floor walks are later reused by interior DP probes (or
+    vice versa).  Returns ``None`` when no fused candidate can contain
+    the block.
+    """
+    memo = model._memo
+    best = None
+    for branch_reuse, subs in ((False, subs_noreuse), (True, subs_reuse)):
+        for sub in subs:
+            iterations = ceil_div(model.mini_batch, sub)
+            key = (idx, True, iterations, True, True, branch_reuse)
+            if key_has_sub:
+                key += (sub,)
+            key += (model.relu_mask,)
+            value = memo.get(key)
+            if value is None:
+                # a 3-wide pseudo-view makes both of idx's edges interior
+                # (hence on-chip); walkers never walk the phantom
+                # neighbours, only query their fused flags
+                view = _GroupView(
+                    (idx - 1, idx, idx + 1), iterations,
+                    (True, True, True), branch_reuse,
+                    model.mini_batch, model.relu_mask,
+                    model.layer_reuse_bytes,
+                )
+                value = memo[key] = model._price(view, idx, sub)
+            if best is None or value < best:
+                best = value
+    return best
 
 
 @dataclass(frozen=True)
@@ -309,6 +365,9 @@ class TrafficCostModel:
             options=options or TrafficOptions(),
         )
 
+    def _price(self, view, idx: int, eff_sub: int) -> int:
+        return block_traffic_total(self.net, view, idx, self.options)
+
     def group_cost(
         self,
         blocks: Sequence[int],
@@ -318,15 +377,19 @@ class TrafficCostModel:
     ) -> int:
         return _memoized_group_cost(
             self, blocks, sub_batch, branch_reuse, block_fused,
-            price=lambda view, idx, eff_sub: block_traffic(
-                self.net, view, idx, self.options
-            ).total_bytes,
+            price=self._price,
             key_has_sub=False,
             zero=0,
         )
 
     def boundary_cost(self, idx: int, branch_reuse: bool) -> int:
         return 0  # boundary traffic is charged to the adjacent blocks
+
+    def block_floor(self, idx, subs_reuse, subs_noreuse) -> int | None:
+        """Admissible lower bound on this block's fused-member price."""
+        return _fused_block_floor(
+            self, idx, subs_reuse, subs_noreuse, key_has_sub=False
+        )
 
     def streaming_cost(self, idx: int) -> int:
         """Conventional layerwise streaming of one block (spilled group)."""
@@ -384,6 +447,18 @@ class LatencyCostModel:
     #: traffic on the group flags, so the key extends the traffic memo's
     #: with ``sub_batch``.
     _memo: dict = field(default_factory=dict, repr=False, compare=False)
+    #: Buffer-independent pricing caches (compute profiles, DRAM row
+    #: indexes); built lazily, shareable across the models of a sweep.
+    _pricer: BlockPricer | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self._pricer is None:
+            object.__setattr__(
+                self, "_pricer",
+                BlockPricer.shared(self.net, self.mini_batch, self.cfg),
+            )
 
     @classmethod
     def for_schedule(
@@ -403,6 +478,12 @@ class LatencyCostModel:
             options=options or TrafficOptions(),
         )
 
+    def _price(self, view, idx: int, eff_sub: int) -> float:
+        return block_step_time(
+            self.net, view, idx, eff_sub, self.cfg, self.options,
+            pricer=self._pricer,
+        )
+
     def group_cost(
         self,
         blocks: Sequence[int],
@@ -412,15 +493,19 @@ class LatencyCostModel:
     ) -> float:
         return _memoized_group_cost(
             self, blocks, sub_batch, branch_reuse, block_fused,
-            price=lambda view, idx, eff_sub: block_step_time(
-                self.net, view, idx, eff_sub, self.cfg, self.options
-            ),
+            price=self._price,
             key_has_sub=True,
             zero=0.0,
         )
 
     def boundary_cost(self, idx: int, branch_reuse: bool) -> float:
         return 0.0  # boundary traffic is charged to the adjacent blocks
+
+    def block_floor(self, idx, subs_reuse, subs_noreuse) -> float | None:
+        """Admissible lower bound on this block's fused-member price."""
+        return _fused_block_floor(
+            self, idx, subs_reuse, subs_noreuse, key_has_sub=True
+        )
 
     def streaming_cost(self, idx: int) -> float:
         """Conventional layerwise streaming of one block (spilled group)."""
@@ -476,6 +561,18 @@ class EnergyCostModel:
     #: extends the traffic memo's with ``sub_batch`` — same shape as
     #: the latency model's.
     _memo: dict = field(default_factory=dict, repr=False, compare=False)
+    #: Buffer-independent pricing caches (compute profiles, gbuf bytes,
+    #: DRAM row indexes); shareable across the models of a sweep.
+    _pricer: BlockPricer | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self._pricer is None:
+            object.__setattr__(
+                self, "_pricer",
+                BlockPricer.shared(self.net, self.mini_batch, self.cfg),
+            )
 
     @classmethod
     def for_schedule(
@@ -497,6 +594,12 @@ class EnergyCostModel:
             params=params,
         )
 
+    def _price(self, view, idx: int, eff_sub: int) -> float:
+        return block_step_energy(
+            self.net, view, idx, eff_sub, self.cfg, self.options,
+            self.params, pricer=self._pricer,
+        )
+
     def group_cost(
         self,
         blocks: Sequence[int],
@@ -506,16 +609,19 @@ class EnergyCostModel:
     ) -> float:
         return _memoized_group_cost(
             self, blocks, sub_batch, branch_reuse, block_fused,
-            price=lambda view, idx, eff_sub: block_step_energy(
-                self.net, view, idx, eff_sub, self.cfg, self.options,
-                self.params,
-            ),
+            price=self._price,
             key_has_sub=True,
             zero=0.0,
         )
 
     def boundary_cost(self, idx: int, branch_reuse: bool) -> float:
         return 0.0  # boundary traffic is charged to the adjacent blocks
+
+    def block_floor(self, idx, subs_reuse, subs_noreuse) -> float | None:
+        """Admissible lower bound on this block's fused-member price."""
+        return _fused_block_floor(
+            self, idx, subs_reuse, subs_noreuse, key_has_sub=True
+        )
 
     def streaming_cost(self, idx: int) -> float:
         """Conventional layerwise streaming of one block (spilled group)."""
@@ -631,6 +737,16 @@ class LexicographicCostModel:
     primary: CostModel
     secondary: CostModel
 
+    @property
+    def relu_mask(self):
+        """Environment flag of the composed objective (primary's)."""
+        return getattr(self.primary, "relu_mask", None)
+
+    @property
+    def layer_reuse_bytes(self):
+        """Environment flag of the composed objective (primary's)."""
+        return getattr(self.primary, "layer_reuse_bytes", None)
+
     def group_cost(
         self,
         blocks: Sequence[int],
@@ -651,6 +767,24 @@ class LexicographicCostModel:
             self.secondary.boundary_cost(idx, branch_reuse),
         )
 
+    def block_floor(self, idx, subs_reuse, subs_noreuse) -> LexCost | None:
+        """Componentwise floor — admissible for lexicographic pruning.
+
+        The DP's early-exit bound compares *primary* components only
+        (a strictly larger primary dominates regardless of secondary),
+        so a componentwise lower bound is sufficient.  ``None`` when
+        either sub-model cannot provide a floor.
+        """
+        fp = getattr(self.primary, "block_floor", None)
+        fs = getattr(self.secondary, "block_floor", None)
+        if fp is None or fs is None:
+            return None
+        p = fp(idx, subs_reuse, subs_noreuse)
+        s = fs(idx, subs_reuse, subs_noreuse)
+        if p is None or s is None:
+            return None
+        return LexCost(p, s)
+
     def streaming_cost(self, idx: int) -> LexCost:
         """Conventional layerwise streaming of one block (spilled group)."""
         return self.group_cost((idx,), 0, False, block_fused=(False,))
@@ -661,3 +795,94 @@ class LexicographicCostModel:
             self.primary.schedule_cost(sched),
             self.secondary.schedule_cost(sched),
         )
+
+
+class MemoizedCostModel:
+    """Cross-call (and cross-sweep) memo of whole-*group* prices.
+
+    Wraps any cost model and caches ``group_cost`` keyed on the exact
+    facts a group price can depend on: the member blocks, sub-batch,
+    provisioning mode, per-member fused flags, and the wrapped model's
+    environment flags that the walkers actually read — ``relu_mask``
+    always, and only when some member streams layerwise (the only path
+    that consults the per-layer reuse budget) the canonicalized budget
+    (:func:`~repro.core.traffic.block_reuse_class` per streaming
+    member; the raw ``layer_reuse_bytes`` for models the walkers don't
+    back).
+    The per-*block* memo inside the walker models already collapses the
+    DP's O(n²) probes to O(n) walks; this layer removes the remaining
+    per-group view construction and member loop, and — passed a shared
+    ``store`` — persists prices across the per-buffer model instances
+    of a sweep, where adjacent points re-probe mostly identical windows.
+
+    A shared store must only span models that agree on everything *not*
+    in the key: network, mini-batch, objective, hardware config modulo
+    the buffer budget, traffic options, and energy calibration.
+    ``hits``/``misses`` count store lookups for observability.
+    """
+
+    def __init__(self, inner, store: dict | None = None):
+        self.inner = inner
+        self._store: dict = {} if store is None else store
+        self.hits = 0
+        self.misses = 0
+
+    def _reuse_tag(self, blocks, fused_t):
+        """Canonical budget component of an unfused group's key.
+
+        Per streaming member, the budget's fit-outcome class; falls back
+        to the raw budget for models without a walker environment
+        (proxy/stub models), where over-keying merely costs sharing.
+        """
+        inner = self.inner
+        env = inner if hasattr(inner, "net") else getattr(
+            inner, "primary", None
+        )
+        lrb = getattr(inner, "layer_reuse_bytes", None)
+        if lrb is None or env is None or not hasattr(env, "net"):
+            return lrb
+        wb = env.options.word_bytes
+        return tuple(
+            block_reuse_class(env.net.blocks[b], env.mini_batch, wb, lrb)
+            for b, fused in zip(blocks, fused_t) if not fused
+        )
+
+    def group_cost(
+        self,
+        blocks: Sequence[int],
+        sub_batch: int,
+        branch_reuse: bool,
+        block_fused: Sequence[bool] | None = None,
+    ):
+        if block_fused is None:
+            block_fused = tuple(sub_batch > 0 for _ in blocks)
+        fused_t = tuple(block_fused)
+        key = (
+            tuple(blocks), sub_batch, branch_reuse, fused_t,
+            getattr(self.inner, "relu_mask", None),
+        )
+        if not all(fused_t):
+            key += (self._reuse_tag(blocks, fused_t),)
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            value = self._store[key] = self.inner.group_cost(
+                blocks, sub_batch, branch_reuse, fused_t
+            )
+        else:
+            self.hits += 1
+        return value
+
+    def boundary_cost(self, idx: int, branch_reuse: bool):
+        return self.inner.boundary_cost(idx, branch_reuse)
+
+    def block_floor(self, idx, subs_reuse, subs_noreuse):
+        fn = getattr(self.inner, "block_floor", None)
+        return None if fn is None else fn(idx, subs_reuse, subs_noreuse)
+
+    def streaming_cost(self, idx: int):
+        """Conventional layerwise streaming of one block (spilled group)."""
+        return self.group_cost((idx,), 0, False, block_fused=(False,))
+
+    def schedule_cost(self, sched: Schedule):
+        return self.inner.schedule_cost(sched)

@@ -142,8 +142,20 @@ def block_space_per_sample(
 
     For single-chain blocks the two modes agree: the worst layer live set.
     For modules, ``branch_reuse=True`` applies Eq. 1 / Eq. 2.
+
+    The result is a pure function of the (immutable) block and the two
+    flags — and buffer sweeps recompute it per point — so it is cached
+    on the block instance (same pattern as the structural caches in
+    :mod:`repro.graph.blocks`).
     """
-    if not block.is_module or not branch_reuse:
-        cands = [layer_live_bytes(l, word_bytes) for l in block.all_layers()]
-        return max(cands) if cands else block.in_shape.bytes(word_bytes)
-    return _module_space(block, word_bytes)
+    cache = block.__dict__.setdefault("_space_cache", {})
+    key = (branch_reuse, word_bytes)
+    got = cache.get(key)
+    if got is None:
+        if not block.is_module or not branch_reuse:
+            cands = [layer_live_bytes(l, word_bytes) for l in block.all_layers()]
+            got = max(cands) if cands else block.in_shape.bytes(word_bytes)
+        else:
+            got = _module_space(block, word_bytes)
+        cache[key] = got
+    return got

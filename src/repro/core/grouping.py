@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.cost import CostModel
+from repro.core.cost import CostModel, LexCost
 from repro.types import ceil_div
 
 
@@ -174,12 +174,67 @@ class AdaptiveGroup:
     sub_batch: int
 
 
+def _achievable_subs(
+    feasible: tuple[int, ...], b: int, mini_batch: int
+) -> tuple[int, ...]:
+    """Every sub-batch the DP can assign block ``b`` in fused candidates.
+
+    A candidate window ``[i, j)`` containing ``b`` fuses at
+    ``min(mini_batch, feasible[i:j])``; that value always equals either
+    the prefix running-min ending at ``b`` or the suffix running-min
+    starting at ``b``, so the union of the two chains (stopping at the
+    first infeasible member, which kills every wider window in that
+    direction) is exactly the achievable set.
+    """
+    subs = set()
+    m = mini_batch
+    for i in range(b, -1, -1):
+        m = min(m, feasible[i])
+        if m <= 0:
+            break
+        subs.add(m)
+    m = mini_batch
+    for i in range(b, len(feasible)):
+        m = min(m, feasible[i])
+        if m <= 0:
+            break
+        subs.add(m)
+    return tuple(sorted(subs))
+
+
+#: Early-exit margin for float-valued costs.  Floors, prefix sums, and
+#: the DP's own accumulations each carry O(n) float roundings (relative
+#: ~1e-14); requiring the bound to beat the incumbent by 1e-9 relative
+#: before skipping makes a rounding-induced wrong skip impossible in
+#: practice while pruning everything that is not a near-exact tie.
+_PRUNE_REL_SLACK = 1e-9
+
+
+def _prunes(bound, best) -> bool:
+    """Conservative ``bound >= best`` for the DP's early exit.
+
+    Integer costs compare exactly; float costs must exceed the incumbent
+    by a relative margin before candidates are skipped (see
+    ``_PRUNE_REL_SLACK``).  Lexicographic costs compare primaries only —
+    a primary strictly above the incumbent's dominates regardless of the
+    secondary, and primary ties are simply not pruned.
+    """
+    if isinstance(bound, LexCost):
+        bound = bound.primary
+    if isinstance(best, LexCost):
+        best = best.primary
+    if isinstance(bound, int) and isinstance(best, int):
+        return bound >= best
+    return bound >= best + _PRUNE_REL_SLACK * abs(best)
+
+
 def adaptive_grouping(
     blocks: tuple[int, ...],
     feasible_reuse: tuple[int, ...],
     feasible_noreuse: tuple[int, ...],
     mini_batch: int,
     cost_model: CostModel,
+    prune: bool = True,
 ) -> list[AdaptiveGroup]:
     """Optimal partition of one window with a per-group provisioning mode.
 
@@ -196,12 +251,46 @@ def adaptive_grouping(
     ``blocks`` are the window's absolute network indices; every block
     must satisfy ``feasible_noreuse >= 1`` (callers split unfusable
     blocks out via :func:`split_segments` first).
+
+    With ``prune=True`` and a cost model exposing ``block_floor`` (an
+    admissible per-block lower bound on fused-member prices; all
+    walker-backed models do), the inner scan keeps prefix sums of the
+    floors and exits early once even the most optimistic completion of
+    the remaining candidates cannot beat the incumbent: every candidate
+    ending the prefix at ``i' <= i`` costs at least ``best[i'] +
+    (F[j] - F[i'])``, so ``min(best[i'] - F[i']) + F[j]`` bounds them
+    all.  Skipped candidates are provably no better than the incumbent
+    (floats carry a safety margin, ints compare exactly), so the chosen
+    partition is identical to the unpruned scan's — asserted zoo-wide
+    in the test suite.
     """
     n = len(blocks)
     if not (len(feasible_reuse) == len(feasible_noreuse) == n):
         raise ValueError("feasibility arrays must align with blocks")
     if any(s <= 0 for s in feasible_noreuse):
         raise ValueError("window blocks must admit a no-reuse sub-batch >= 1")
+
+    floors = None
+    floor_of = getattr(cost_model, "block_floor", None) if prune else None
+    if floor_of is not None and n > 1:
+        floors = []
+        for b in range(n):
+            f = floor_of(
+                blocks[b],
+                _achievable_subs(feasible_reuse, b, mini_batch),
+                _achievable_subs(feasible_noreuse, b, mini_batch),
+            )
+            if f is None:
+                floors = None  # model cannot bound this block: no pruning
+                break
+            floors.append(f)
+    if floors is not None:
+        zero = floors[0] - floors[0]  # cost-typed zero (LexCost-safe)
+        prefix = [zero] * (n + 1)  # prefix[k] = floors[0] + .. + floors[k-1]
+        for b in range(n):
+            prefix[b + 1] = prefix[b] + floors[b]
+        # min_slack[i] = min over i' <= i of (best[i'] - prefix[i'])
+        min_slack = [zero] * (n + 1)
 
     best = [0.0] * (n + 1)  # best[j] = min cost of covering blocks 0..j-1
     choice: list[AdaptiveGroup | None] = [None] * (n + 1)
@@ -218,6 +307,10 @@ def adaptive_grouping(
             choice[j] = AdaptiveGroup(j - 1, j - 1, None, 0)
         min_r = min_nr = mini_batch
         for i in range(j - 1, -1, -1):
+            if floors is not None and _prunes(
+                min_slack[i] + prefix[j], best[j]
+            ):
+                break  # no candidate ending a prefix at <= i can win
             min_r = min(min_r, feasible_reuse[i])
             min_nr = min(min_nr, feasible_noreuse[i])
             window = blocks[i:j]
@@ -230,11 +323,19 @@ def adaptive_grouping(
                 if cost < best[j]:
                     best[j] = cost
                     choice[j] = AdaptiveGroup(i, j - 1, reuse, sub)
+        if floors is not None:
+            slack = best[j] - prefix[j]
+            min_slack[j] = (
+                slack if slack < min_slack[j - 1] else min_slack[j - 1]
+            )
 
     groups: list[AdaptiveGroup] = []
     j = n
     while j > 0:
         g = choice[j]
+        # every best[j] was finalized through at least the streaming
+        # candidate, so the backtrack can never meet an unset choice
+        assert g is not None, f"adaptive DP left no choice at prefix {j}"
         groups.append(g)
         j = g.start
     groups.reverse()

@@ -38,6 +38,7 @@ from repro.core.cost import (
     EnergyCostModel,
     LatencyCostModel,
     LexicographicCostModel,
+    MemoizedCostModel,
     ProxyCostModel,
     TrafficCostModel,
 )
@@ -111,6 +112,111 @@ def _proxy_groups(
     return groups
 
 
+class SweepCaches:
+    """Pricing state shared across the points of a buffer sweep.
+
+    Holds the per-role per-*block* walker memos and the whole-*group*
+    price store that :func:`sweep_schedules` threads through every
+    per-buffer ``mbs-auto`` search.  Both kinds of key carry the
+    environment facts a price depends on (``relu_mask`` always, the
+    per-layer reuse budget only where it is read), so one instance may
+    safely span sweep points whose ``layer_reuse_bytes`` tracks the
+    buffer budget — but must *not* span different networks, mini-batch
+    sizes, objectives, traffic options, energy calibrations, or configs
+    differing in anything beyond ``global_buffer_bytes``.
+
+    ``hits``/``misses`` accumulate the group-store counters of every
+    search run against this instance, for observability (the
+    ``sweep-schedule`` CLI reports them).
+    """
+
+    __slots__ = ("block_memos", "group_store", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.block_memos: dict[str, dict] = {}
+        self.group_store: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def block_memo(self, role: str) -> dict:
+        """The shared per-block walker memo for one model role."""
+        return self.block_memos.setdefault(role, {})
+
+
+def clear_pricing_caches(net: Network) -> None:
+    """Drop every cross-call pricing cache hung off a network's objects.
+
+    Restores the cold-start cost of :func:`make_schedule` — compute
+    profiles (:meth:`repro.core.steptime.BlockPricer.shared`) and
+    per-block footprint scalars are otherwise remembered by the network
+    and block instances.  Benchmarks use this to measure the naive
+    per-point sweep loop without cross-point reuse; the structural
+    shape caches in :mod:`repro.graph` are *not* cleared (they belong
+    to the graph, not to pricing).
+    """
+    net.__dict__.pop("_pricer_cache", None)
+    for block in net.blocks:
+        block.__dict__.pop("_space_cache", None)
+        block.__dict__.pop("_live_sizes", None)
+
+
+def _auto_model(
+    net: Network,
+    n_batch: int,
+    word_bytes: int,
+    relu_mask: bool,
+    layer_reuse_bytes: int,
+    objective: str,
+    cfg: WaveCoreConfig | None,
+    caches: SweepCaches | None = None,
+) -> MemoizedCostModel:
+    """The memoized exact cost model for one ``mbs-auto`` objective.
+
+    With ``caches``, the walker models' per-block memos and the group
+    store are the sweep-shared dicts, so every price computed at one
+    buffer point is reusable at the next.
+    """
+    options = TrafficOptions(word_bytes=word_bytes)
+    if caches is None:
+        memo = lambda role: {}  # noqa: E731 - throwaway per-model dicts
+    else:
+        memo = caches.block_memo
+    if objective == "latency":
+        inner = LatencyCostModel(
+            net, n_batch, relu_mask=relu_mask,
+            layer_reuse_bytes=layer_reuse_bytes,
+            cfg=cfg, options=options, _memo=memo("latency"),
+        )
+    elif objective == "latency+traffic":
+        inner = LexicographicCostModel(
+            primary=LatencyCostModel(
+                net, n_batch, relu_mask=relu_mask,
+                layer_reuse_bytes=layer_reuse_bytes,
+                cfg=cfg, options=options, _memo=memo("latency"),
+            ),
+            secondary=TrafficCostModel(
+                net, n_batch, relu_mask=relu_mask,
+                layer_reuse_bytes=layer_reuse_bytes,
+                options=options, _memo=memo("traffic"),
+            ),
+        )
+    elif objective == "energy":
+        inner = EnergyCostModel(
+            net, n_batch, relu_mask=relu_mask,
+            layer_reuse_bytes=layer_reuse_bytes,
+            cfg=cfg, options=options, _memo=memo("energy"),
+        )
+    else:
+        inner = TrafficCostModel(
+            net, n_batch, relu_mask=relu_mask,
+            layer_reuse_bytes=layer_reuse_bytes,
+            options=options, _memo=memo("traffic"),
+        )
+    return MemoizedCostModel(
+        inner, store=None if caches is None else caches.group_store
+    )
+
+
 def _auto_groups(
     net: Network,
     buffer_bytes: int,
@@ -121,7 +227,8 @@ def _auto_groups(
     layer_reuse_bytes: int,
     objective: str = "traffic",
     cfg: WaveCoreConfig | None = None,
-) -> list[GroupPlan]:
+    caches: SweepCaches | None = None,
+) -> tuple[list[GroupPlan], MemoizedCostModel]:
     """mbs-auto: optimal grouping + per-group mode under the true model.
 
     Windows are split at blocks that cannot fuse even without
@@ -140,44 +247,20 @@ def _auto_groups(
     latency model (bit-identical seconds, so the optimum's step time
     matches the pure latency objective's) with exact bytes breaking
     ties.
+
+    Returns ``(groups, model)`` — the chosen partition plus the
+    memoized model that priced it, so callers can re-price candidates
+    (the ``relu_mask="auto"`` selection) without rebuilding caches.
     """
     feas_plain = per_block_sub_batches(
         net, buffer_bytes, n_batch, branch_reuse=False, word_bytes=word_bytes
     )
-    options = TrafficOptions(word_bytes=word_bytes)
     if objective in HARDWARE_OBJECTIVES and cfg is None:
         cfg = config_for_policy("mbs-auto", buffer_bytes=buffer_bytes)
-    if objective == "latency":
-        model = LatencyCostModel(
-            net, n_batch, relu_mask=relu_mask,
-            layer_reuse_bytes=layer_reuse_bytes,
-            cfg=cfg, options=options,
-        )
-    elif objective == "latency+traffic":
-        model = LexicographicCostModel(
-            primary=LatencyCostModel(
-                net, n_batch, relu_mask=relu_mask,
-                layer_reuse_bytes=layer_reuse_bytes,
-                cfg=cfg, options=options,
-            ),
-            secondary=TrafficCostModel(
-                net, n_batch, relu_mask=relu_mask,
-                layer_reuse_bytes=layer_reuse_bytes,
-                options=options,
-            ),
-        )
-    elif objective == "energy":
-        model = EnergyCostModel(
-            net, n_batch, relu_mask=relu_mask,
-            layer_reuse_bytes=layer_reuse_bytes,
-            cfg=cfg, options=options,
-        )
-    else:
-        model = TrafficCostModel(
-            net, n_batch, relu_mask=relu_mask,
-            layer_reuse_bytes=layer_reuse_bytes,
-            options=options,
-        )
+    model = _auto_model(
+        net, n_batch, word_bytes, relu_mask, layer_reuse_bytes,
+        objective, cfg, caches,
+    )
     groups: list[GroupPlan] = []
     for seg in split_segments(feas_plain):
         if isinstance(seg, int):
@@ -205,7 +288,10 @@ def _auto_groups(
                     branch_reuse=g.branch_reuse,
                 )
             )
-    return groups
+    if caches is not None:
+        caches.hits += model.hits
+        caches.misses += model.misses
+    return groups, model
 
 
 def make_schedule(
@@ -216,6 +302,8 @@ def make_schedule(
     word_bytes: int = WORD_BYTES,
     objective: str = "traffic",
     cfg: WaveCoreConfig | None = None,
+    relu_mask: bool | str | None = None,
+    _caches: SweepCaches | None = None,
 ) -> Schedule:
     """Build the schedule for one of the paper's configurations.
 
@@ -230,6 +318,15 @@ def make_schedule(
     schedule will be simulated on (memory system, double-buffering
     mode); it defaults to the policy's Tab. 3 configuration and is
     rejected for the traffic objective, where it could only mislead.
+
+    ``relu_mask`` overrides the ReLU-masking trick for ``mbs-auto``
+    only (the fixed policies' masking is part of the paper's
+    configurations): an explicit bool forces it, and ``"auto"`` runs
+    the adaptive search under *both* settings and keeps the schedule
+    the objective's exact model prices cheaper — never worse than the
+    fixed ``relu_mask=True`` default, since that candidate is priced
+    (ties keep it).  ``_caches`` threads sweep-shared pricing state;
+    use :func:`sweep_schedules` rather than passing it directly.
     """
     policy = policy.lower()
     if policy not in POLICIES:
@@ -249,10 +346,25 @@ def make_schedule(
             f"{HARDWARE_OBJECTIVES}; the {objective!r} objective does "
             "not price hardware"
         )
+    if relu_mask is not None:
+        if policy != "mbs-auto":
+            raise ValueError(
+                "relu_mask is fixed by the paper's configuration for "
+                f"{policy!r}; only the adaptive 'mbs-auto' accepts an "
+                "override"
+            )
+        if not (relu_mask == "auto" or isinstance(relu_mask, bool)):
+            raise ValueError(
+                f"relu_mask must be True, False, or 'auto', got "
+                f"{relu_mask!r}"
+            )
     n_batch = net.default_mini_batch if mini_batch is None else mini_batch
 
     branch_reuse = policy in ("il", "mbs2", "mbs2-opt", "mbs-fs", "mbs-auto")
-    relu_mask = policy.startswith("mbs")
+    if relu_mask is None or relu_mask == "auto":
+        mask = policy.startswith("mbs")
+    else:
+        mask = relu_mask
     layer_reuse_bytes = 0 if policy in ("baseline", "archopt") else buffer_bytes
 
     feasible = per_block_sub_batches(
@@ -295,10 +407,37 @@ def make_schedule(
         # it as the Eq. 1/2 profile; _auto_groups adds the plain one.
         # The schedule-environment flags are passed through so the DP's
         # cost model can never diverge from the Schedule it emits.
-        groups = _auto_groups(
-            net, buffer_bytes, n_batch, word_bytes, feasible,
-            relu_mask, layer_reuse_bytes, objective, cfg,
-        )
+        # Feasibility does not depend on the masking trick, so the
+        # relu_mask="auto" candidates share it and differ only in the
+        # DP's pricing.
+        masks = (True, False) if relu_mask == "auto" else (mask,)
+        best: tuple | None = None
+        for candidate_mask in masks:
+            groups, model = _auto_groups(
+                net, buffer_bytes, n_batch, word_bytes, feasible,
+                candidate_mask, layer_reuse_bytes, objective, cfg,
+                caches=_caches,
+            )
+            sched = Schedule(
+                policy=policy,
+                network=net.name,
+                mini_batch=n_batch,
+                buffer_bytes=buffer_bytes,
+                branch_reuse=branch_reuse,
+                relu_mask=candidate_mask,
+                groups=tuple(groups),
+                layer_reuse_bytes=layer_reuse_bytes,
+                objective=objective,
+            )
+            if len(masks) == 1:
+                return sched
+            # exact evaluator-grade price of the finished candidate —
+            # the same number the property tests compare, so "auto is
+            # never worse than fixed True" holds by construction
+            cost = model.schedule_cost(sched)
+            if best is None or cost < best[0]:
+                best = (cost, sched)
+        return best[1]
     else:  # mbs1 / mbs2 (+ -opt variants)
         optimizer = exhaustive_grouping if policy.endswith("-opt") else greedy_grouping
         groups = _proxy_groups(net, feasible, n_batch, word_bytes, optimizer)
@@ -309,8 +448,48 @@ def make_schedule(
         mini_batch=n_batch,
         buffer_bytes=buffer_bytes,
         branch_reuse=branch_reuse,
-        relu_mask=relu_mask,
+        relu_mask=mask,
         groups=tuple(groups),
         layer_reuse_bytes=layer_reuse_bytes,
         objective=objective,
     )
+
+
+def sweep_schedules(
+    net: Network,
+    policy: str,
+    buffer_sizes,
+    mini_batch: int | None = None,
+    word_bytes: int = WORD_BYTES,
+    objective: str = "traffic",
+    cfg: WaveCoreConfig | None = None,
+    relu_mask: bool | str | None = None,
+    caches: SweepCaches | None = None,
+) -> list[Schedule]:
+    """Schedules for every buffer size of a sweep, sharing pricing work.
+
+    Semantically identical to calling :func:`make_schedule` once per
+    element of ``buffer_sizes`` (the returned schedules are exactly
+    those), but for ``mbs-auto`` the per-buffer searches share one
+    :class:`SweepCaches`: the buffer-independent compute profiles, the
+    walker models' per-block memos, and the whole-group price store all
+    persist across points, so a candidate group priced at one buffer
+    size is free at every other where it recurs — adjacent sweep points
+    explore mostly identical windows, which is what makes the batch API
+    an order of magnitude faster than the naive per-point loop.
+
+    Pass ``caches`` to inspect hit/miss counters afterwards (one is
+    created internally otherwise).  ``cfg``, when given, pins the same
+    hardware config for every point, matching ``make_schedule``; when
+    omitted, each hardware-priced point defaults to its own
+    buffer-sized config exactly as the per-point calls would.
+    """
+    if caches is None and policy.lower() == "mbs-auto":
+        caches = SweepCaches()
+    return [
+        make_schedule(
+            net, policy, buffer_bytes, mini_batch, word_bytes,
+            objective, cfg, relu_mask, _caches=caches,
+        )
+        for buffer_bytes in buffer_sizes
+    ]

@@ -39,8 +39,17 @@ metric are suboptimal under another).
 """
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.schedule import Schedule
-from repro.core.traffic import Phase, TrafficOptions, block_traffic, compute_traffic
+from repro.core.steptime import BlockPricer, _DramRowReport
+from repro.core.traffic import (
+    Phase,
+    TrafficOptions,
+    block_traffic,
+    compute_traffic,
+    walk_block_traffic,
+)
 from repro.graph.network import Network
 from repro.wavecore.config import WaveCoreConfig, config_for_policy
 from repro.wavecore.energy import DEFAULT_ENERGY, EnergyParams, step_energy
@@ -61,6 +70,7 @@ def block_step_energy(
     cfg: WaveCoreConfig,
     options: TrafficOptions | None = None,
     params: EnergyParams = DEFAULT_ENERGY,
+    pricer: BlockPricer | None = None,
 ) -> float:
     """Chip-level joules attributable to block ``idx`` alone.
 
@@ -73,7 +83,33 @@ def block_step_energy(
     totals — per-block prices therefore sum to the simulated step
     energy up to float association (the int-valued byte and MAC totals
     are exact; only the final per-component multiplies reassociate).
+
+    ``pricer`` switches to the vectorized path of
+    :func:`repro.core.steptime.block_step_time`: cached compute profile
+    and global-buffer bytes, row-binned traffic walk — same values,
+    same addition order.
     """
+    if pricer is not None:
+        _prof, compute_s, macs = pricer.profile(idx, sub_batch)
+        rep = _DramRowReport(pricer.rows(idx))
+        walk_block_traffic(rep, net, sched_like, idx, options)
+        dram_s = (
+            np.asarray(rep.row_bytes, dtype=np.float64) / cfg.core_bandwidth
+        )
+        times = np.maximum(compute_s, dram_s)
+        time_s = 0.0
+        for t in times.tolist():  # ordered scalar sum, no reassociation
+            time_s += t
+        gbuf = pricer.gbuf_bytes(idx, sub_batch) + rep.total_bytes
+        return step_energy(
+            cfg,
+            time_s,
+            chip_dram_bytes=rep.total_bytes * cfg.cores,
+            chip_gbuf_bytes=gbuf * cfg.cores,
+            chip_macs=macs * cfg.cores,
+            params=params,
+        ).total_j
+
     traffic = block_traffic(net, sched_like, idx, options)
     dram_map = attribute_block_dram(net.blocks[idx], traffic.records)
     time_s = 0.0

@@ -36,11 +36,170 @@ genuinely diverge on tight buffers.
 """
 from __future__ import annotations
 
+import dataclasses
+
+import numpy as np
+
 from repro.core.schedule import Schedule
-from repro.core.traffic import TrafficOptions, block_traffic
+from repro.core.traffic import (
+    Phase,
+    TrafficOptions,
+    block_traffic,
+    walk_block_traffic,
+)
 from repro.graph.network import Network
 from repro.wavecore.config import WaveCoreConfig, config_for_policy
-from repro.wavecore.timing import attribute_block_dram, block_layer_timings
+from repro.wavecore.timing import (
+    attribute_block_dram,
+    block_compute_profile,
+    block_gbuf_bytes,
+    block_layer_timings,
+)
+
+
+class _DramRowIndex:
+    """Resolve raw traffic-record names to per-(layer, phase) row slots.
+
+    Encodes :func:`repro.wavecore.timing.attribute_block_dram`'s
+    resolution rules (real layer name / ``<layer>.out`` / block-level
+    markers) as a memoized row lookup, with rows ordered exactly like
+    :func:`block_compute_profile` so the dram and compute vectors align.
+    """
+
+    __slots__ = ("_names", "_first", "_last", "_by_phase", "n_rows")
+
+    def __init__(self, block) -> None:
+        layers = block.all_layers()
+        self._names = {l.name for l in layers}
+        self._first = layers[0].name
+        self._last = layers[-1].name
+        # one raw-name -> row cache per phase: the hot `row` lookup then
+        # hashes a plain string instead of a (str, enum) tuple
+        self._by_phase: dict[Phase, dict[str, int]] = {}
+        i = 0
+        for phase in (Phase.FWD, Phase.BWD):
+            rows = self._by_phase[phase] = {}
+            for layer in layers:
+                rows[layer.name] = i
+                i += 1
+        self.n_rows = i
+
+    def row(self, raw: str, phase: Phase) -> int:
+        rows = self._by_phase[phase]
+        got = rows.get(raw)
+        if got is None:
+            if raw in self._names:
+                name = raw
+            elif raw.endswith(".out") and raw[:-4] in self._names:
+                name = raw[:-4]
+            elif raw.endswith(".out"):
+                name = self._last
+            else:  # .in / fork / other block-level markers
+                name = self._first
+            got = rows[raw] = rows[name]
+        return got
+
+
+class _DramRowReport:
+    """Duck-typed traffic report that bins bytes straight into row slots.
+
+    Replaces ``TrafficReport`` + ``attribute_block_dram`` on the pricing
+    hot path: walkers call ``add`` and the bytes land pre-attributed,
+    with no per-record allocation.
+    """
+
+    __slots__ = ("total_bytes", "row_bytes", "_index")
+
+    def __init__(self, index: _DramRowIndex) -> None:
+        self._index = index
+        self.total_bytes = 0
+        self.row_bytes = [0] * index.n_rows
+
+    def add(self, block, layer, kind, phase, category, nbytes) -> None:
+        if nbytes > 0:
+            n = int(nbytes)
+            self.total_bytes += n
+            self.row_bytes[self._index.row(layer, phase)] += n
+
+
+class BlockPricer:
+    """Caches the buffer-independent inputs of per-block pricing.
+
+    Compute profiles, MAC totals, global-buffer byte counts, and DRAM
+    row indexes depend only on ``(net, mini_batch, cfg)`` plus
+    ``(idx, sub_batch)`` — never on boundary placement, reuse flags,
+    ReLU masking, or the global-buffer budget — so one pricer serves
+    every DP probe of every buffer-sweep point that shares a memory
+    config.  The cached ``compute_s`` vectors hold exactly the values
+    :func:`block_layer_timings` would yield, in the same order.
+    """
+
+    __slots__ = ("net", "mini_batch", "cfg", "_profiles", "_gbuf", "_rows")
+
+    def __init__(self, net: Network, mini_batch: int, cfg: WaveCoreConfig):
+        self.net = net
+        self.mini_batch = mini_batch
+        self.cfg = cfg
+        self._profiles: dict[tuple[int, int], tuple] = {}
+        self._gbuf: dict[tuple[int, int], int] = {}
+        self._rows: dict[int, _DramRowIndex] = {}
+
+    @classmethod
+    def shared(
+        cls, net: Network, mini_batch: int, cfg: WaveCoreConfig
+    ) -> "BlockPricer":
+        """The per-network pricer for this ``(mini_batch, cfg)`` point.
+
+        Cached in the (immutable) network's instance ``__dict__``, so its
+        lifetime is tied to the network object and repeated schedule
+        searches — every point of a buffer sweep, every objective —
+        share one set of compute profiles.  ``global_buffer_bytes`` is
+        excluded from the key: it is the one config field a sweep varies,
+        and pricing never reads it.
+        """
+        cache = net.__dict__.setdefault("_pricer_cache", {})
+        key = (mini_batch,) + tuple(
+            getattr(cfg, f.name)
+            for f in dataclasses.fields(cfg)
+            if f.name != "global_buffer_bytes"
+        )
+        got = cache.get(key)
+        if got is None:
+            got = cache[key] = cls(net, mini_batch, cfg)
+        return got
+
+    def profile(self, idx: int, sub_batch: int):
+        """``(profile_rows, compute_s ndarray, total_macs)`` for a block."""
+        key = (idx, sub_batch)
+        got = self._profiles.get(key)
+        if got is None:
+            prof = block_compute_profile(
+                self.net, idx, self.mini_batch, sub_batch, self.cfg
+            )
+            compute_s = np.asarray([r[5] for r in prof], dtype=np.float64)
+            macs = 0
+            for r in prof:
+                macs += r[4]
+            got = (prof, compute_s, macs)
+            self._profiles[key] = got
+        return got
+
+    def gbuf_bytes(self, idx: int, sub_batch: int) -> int:
+        key = (idx, sub_batch)
+        got = self._gbuf.get(key)
+        if got is None:
+            got = block_gbuf_bytes(
+                self.net, idx, self.mini_batch, sub_batch, self.cfg
+            )
+            self._gbuf[key] = got
+        return got
+
+    def rows(self, idx: int) -> _DramRowIndex:
+        got = self._rows.get(idx)
+        if got is None:
+            got = _DramRowIndex(self.net.blocks[idx])
+            self._rows[idx] = got
+        return got
 
 
 def block_step_time(
@@ -51,6 +210,7 @@ def block_step_time(
     cfg: WaveCoreConfig,
     options: TrafficOptions | None = None,
     unlimited_bandwidth: bool = False,
+    pricer: BlockPricer | None = None,
 ) -> float:
     """Simulated time of block ``idx`` alone under a schedule-like view.
 
@@ -64,16 +224,40 @@ def block_step_time(
 
     The per-layer accumulation order matches ``simulate_step`` exactly,
     so these block times sum to the simulated step time bit-for-bit.
+
+    ``pricer`` (a :class:`BlockPricer` built for the same ``net``,
+    ``mini_batch``, and a cfg sharing this one's compute-side fields)
+    switches to a vectorized path: cached compute profile, row-binned
+    traffic walk, elementwise ``max`` — same values, same addition
+    order, no per-record or per-``LayerTiming`` allocation.
     """
-    traffic = block_traffic(net, sched_like, idx, options)
-    dram_map = attribute_block_dram(net.blocks[idx], traffic.records)
+    if pricer is None:
+        traffic = block_traffic(net, sched_like, idx, options)
+        dram_map = attribute_block_dram(net.blocks[idx], traffic.records)
+        total = 0.0
+        for lt in block_layer_timings(
+            net, idx, sched_like.mini_batch, sub_batch, cfg,
+            lambda name, phase: dram_map.get((name, phase), 0),
+            unlimited_bandwidth=unlimited_bandwidth,
+        ):
+            total += lt.time_s
+        return total
+
+    _prof, compute_s, _macs = pricer.profile(idx, sub_batch)
+    rep = _DramRowReport(pricer.rows(idx))
+    walk_block_traffic(rep, net, sched_like, idx, options)
+    if unlimited_bandwidth:
+        times = compute_s
+    else:
+        dram_s = (
+            np.asarray(rep.row_bytes, dtype=np.float64) / cfg.core_bandwidth
+        )
+        times = np.maximum(compute_s, dram_s)
+    # ordered scalar sum: bit-identical to the LayerTiming accumulation
+    # (np.sum would reassociate)
     total = 0.0
-    for lt in block_layer_timings(
-        net, idx, sched_like.mini_batch, sub_batch, cfg,
-        lambda name, phase: dram_map.get((name, phase), 0),
-        unlimited_bandwidth=unlimited_bandwidth,
-    ):
-        total += lt.time_s
+    for t in times.tolist():
+        total += t
     return total
 
 

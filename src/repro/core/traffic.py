@@ -23,6 +23,7 @@ per (block, layer, category).  Semantics follow Sec. 2/3 of the paper:
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.core.schedule import Schedule
@@ -484,6 +485,33 @@ def _fits(layer: Layer | None, n: int, wb: int, budget: int) -> bool:
     return live <= budget
 
 
+def block_reuse_class(
+    block: Block, mini_batch: int, word_bytes: int, budget: int
+) -> int:
+    """Canonical equivalence class of the reuse budget for one block.
+
+    The layerwise (unfused) walkers consult ``layer_reuse_bytes`` only
+    through :func:`_fits`, whose outcome per queried layer is
+    ``(in + out) * n <= budget`` — never conditioned on another fit —
+    so two budgets falling between the same adjacent per-layer live
+    sizes produce bit-identical walks.  Returns how many of the block's
+    distinct live sizes fit (the budget's rank on the block's live-size
+    ladder), which pricing memo keys use in place of the raw budget so
+    a buffer sweep re-walks a streaming block only when a fit outcome
+    actually flips.
+    """
+    cache = block.__dict__.setdefault("_live_sizes", {})
+    key = (mini_batch, word_bytes)
+    sizes = cache.get(key)
+    if sizes is None:
+        sizes = cache[key] = tuple(sorted({
+            (l.in_shape.bytes(word_bytes) + l.out_shape.bytes(word_bytes))
+            * mini_batch
+            for l in block.all_layers()
+        }))
+    return bisect_right(sizes, budget)
+
+
 def _needed_in_bwd(t: _Tensor, relu_mask: bool) -> bool:
     """Must this tensor have a DRAM copy for back propagation?"""
     if any(c is not None and c.kind in _CHECKPOINT_CONSUMERS
@@ -644,15 +672,36 @@ def _bwd_unfused(
 # entry point
 # ----------------------------------------------------------------------
 
-def block_traffic(
+class _SumTrafficReport:
+    """Duck-typed :class:`TrafficReport` that keeps only the byte total.
+
+    The scheduling DP prices thousands of candidate groups and reads a
+    single number from each walk; materializing a ``TrafficRecord`` per
+    tensor transfer is pure allocation churn there.  Walkers only call
+    ``add`` — both report flavours accept the same call.
+    """
+
+    __slots__ = ("total_bytes",)
+
+    def __init__(self) -> None:
+        self.total_bytes = 0
+
+    def add(self, block, layer, kind, phase, category, nbytes) -> None:
+        if nbytes > 0:
+            self.total_bytes += int(nbytes)
+
+
+def walk_block_traffic(
+    rep,
     net: Network,
     sched,
     idx: int,
     options: TrafficOptions | None = None,
-) -> TrafficReport:
-    """Both-phase traffic of block ``idx`` alone.
+) -> None:
+    """Run both phase walkers for block ``idx`` into ``rep``.
 
-    ``sched`` may be any object exposing the Schedule query surface
+    ``rep`` is any object with a ``TrafficReport.add``-compatible
+    method; ``sched`` any object exposing the Schedule query surface
     (``mini_batch``, ``relu_mask``, ``layer_reuse_bytes``,
     ``iterations_of_block``, ``block_fused``, ``boundary_on_chip``,
     ``branch_reuse_of``) — the cost model in :mod:`repro.core.cost`
@@ -660,14 +709,40 @@ def block_traffic(
     candidates with *exactly* these walkers.
     """
     opt = options or TrafficOptions()
-    rep = TrafficReport()
     if sched.block_fused(idx):
         _fwd_fused(rep, net, sched, idx, opt)
         _bwd_fused(rep, net, sched, idx, opt)
     else:
         _fwd_unfused(rep, net, sched, idx, opt)
         _bwd_unfused(rep, net, sched, idx, opt)
+
+
+def block_traffic(
+    net: Network,
+    sched,
+    idx: int,
+    options: TrafficOptions | None = None,
+) -> TrafficReport:
+    """Both-phase traffic of block ``idx`` alone (full record detail)."""
+    rep = TrafficReport()
+    walk_block_traffic(rep, net, sched, idx, options)
     return rep
+
+
+def block_traffic_total(
+    net: Network,
+    sched,
+    idx: int,
+    options: TrafficOptions | None = None,
+) -> int:
+    """Both-phase traffic of block ``idx`` as a bare byte count.
+
+    Bit-identical to ``block_traffic(...).total_bytes`` (same walkers,
+    same integer additions) without building per-record objects.
+    """
+    rep = _SumTrafficReport()
+    walk_block_traffic(rep, net, sched, idx, options)
+    return rep.total_bytes
 
 
 def compute_traffic(

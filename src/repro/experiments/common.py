@@ -11,6 +11,7 @@ from functools import lru_cache
 from repro.core.policies import (
     DEFAULT_BUFFER_BYTES,
     HARDWARE_OBJECTIVES,
+    SweepCaches,
     make_schedule,
 )
 from repro.wavecore.config import config_for_policy
@@ -46,6 +47,29 @@ def evaluate(
     ``"latency+traffic"``, or simulated ``"energy"``); fixed policies
     accept only the default.
     """
+    return evaluate_sweep(
+        net_name, policy, (buffer_bytes,), memory=memory,
+        unlimited_bandwidth=unlimited_bandwidth, objective=objective,
+    )[0]
+
+
+def evaluate_sweep(
+    net_name: str,
+    policy: str,
+    buffer_sizes,
+    memory: str = "HBM2",
+    unlimited_bandwidth: bool = False,
+    objective: str = "traffic",
+) -> list[StepReport]:
+    """One :func:`evaluate` per buffer size, sharing pricing work.
+
+    Returns exactly the reports the per-point ``evaluate`` calls would
+    (same schedules, same simulations), but the ``mbs-auto`` schedule
+    searches of all points share one
+    :class:`~repro.core.policies.SweepCaches` — compute profiles,
+    walker memos, and group prices persist across points, which is what
+    makes the buffer-sweep experiments cheap to densify.
+    """
     if objective in HARDWARE_OBJECTIVES and unlimited_bandwidth:
         raise ValueError(
             f"objective={objective!r} prices bandwidth-limited hardware; "
@@ -54,14 +78,22 @@ def evaluate(
         )
     net = network(net_name)
     sched_policy = "baseline" if policy == "archopt" else policy
-    cfg = config_for_policy(policy, memory=memory, buffer_bytes=buffer_bytes)
-    sched = make_schedule(
-        net, sched_policy, buffer_bytes=buffer_bytes, objective=objective,
-        # the hardware-priced DPs must price the exact hardware we
-        # simulate on (memory bandwidth shifts the compute/memory-bound
-        # crossover; memory type shifts per-bit DRAM energy)
-        cfg=cfg if objective in HARDWARE_OBJECTIVES else None,
-    )
-    return simulate_step(
-        net, sched, cfg, unlimited_bandwidth=unlimited_bandwidth
-    )
+    caches = SweepCaches() if sched_policy == "mbs-auto" else None
+    reports = []
+    for buffer_bytes in buffer_sizes:
+        cfg = config_for_policy(
+            policy, memory=memory, buffer_bytes=buffer_bytes
+        )
+        sched = make_schedule(
+            net, sched_policy, buffer_bytes=buffer_bytes,
+            objective=objective,
+            # the hardware-priced DPs must price the exact hardware we
+            # simulate on (memory bandwidth shifts the compute/memory-
+            # bound crossover; memory type shifts per-bit DRAM energy)
+            cfg=cfg if objective in HARDWARE_OBJECTIVES else None,
+            _caches=caches,
+        )
+        reports.append(simulate_step(
+            net, sched, cfg, unlimited_bandwidth=unlimited_bandwidth
+        ))
+    return reports

@@ -14,7 +14,7 @@ latency) at any buffer size, by construction.
 """
 from __future__ import annotations
 
-from repro.experiments.common import evaluate
+from repro.experiments.common import evaluate_sweep
 from repro.experiments.tables import fmt, format_table
 from repro.runtime import ExperimentSpec, register
 from repro.types import MIB
@@ -41,11 +41,11 @@ def run(
 ) -> dict:
     cells: dict[tuple[str, int], dict] = {}
     for label, (policy, objective) in POLICY_SPECS.items():
-        for buf in buffers_mib:
-            rep = evaluate(
-                net_name, policy, buffer_bytes=buf * MIB,
-                objective=objective,
-            )
+        reports = evaluate_sweep(
+            net_name, policy, [b * MIB for b in buffers_mib],
+            objective=objective,
+        )
+        for buf, rep in zip(buffers_mib, reports):
             cells[(label, buf)] = {
                 "energy_j": rep.energy.total_j,
                 "dram_share": rep.energy.share("dram"),

@@ -7,7 +7,7 @@ size by construction (it optimizes the byte-accurate cost model the
 evaluator is built from)."""
 from __future__ import annotations
 
-from repro.experiments.common import evaluate
+from repro.experiments.common import evaluate_sweep
 from repro.experiments.tables import fmt, format_table
 from repro.runtime import ExperimentSpec, register
 from repro.types import MIB
@@ -19,8 +19,10 @@ BUFFER_MIB = (5, 10, 20, 30, 40)
 def run(net_name: str = "resnet50") -> dict:
     cells: dict[tuple[str, int], dict] = {}
     for policy in POLICIES:
-        for buf in BUFFER_MIB:
-            rep = evaluate(net_name, policy, buffer_bytes=buf * MIB)
+        reports = evaluate_sweep(
+            net_name, policy, [b * MIB for b in BUFFER_MIB]
+        )
+        for buf, rep in zip(BUFFER_MIB, reports):
             cells[(policy, buf)] = {
                 "time_s": rep.time_s,
                 "dram_bytes": rep.dram_bytes,

@@ -11,7 +11,7 @@ latency objective against the DRAM bytes it spends to get it.
 """
 from __future__ import annotations
 
-from repro.experiments.common import evaluate
+from repro.experiments.common import evaluate_sweep
 from repro.experiments.tables import fmt, format_table
 from repro.runtime import ExperimentSpec, register
 from repro.types import MIB
@@ -37,11 +37,11 @@ def run(
 ) -> dict:
     cells: dict[tuple[str, int], dict] = {}
     for label, (policy, objective) in POLICY_SPECS.items():
-        for buf in buffers_mib:
-            rep = evaluate(
-                net_name, policy, buffer_bytes=buf * MIB,
-                objective=objective,
-            )
+        reports = evaluate_sweep(
+            net_name, policy, [b * MIB for b in buffers_mib],
+            objective=objective,
+        )
+        for buf, rep in zip(buffers_mib, reports):
             cells[(label, buf)] = {
                 "time_s": rep.time_s,
                 "dram_bytes": rep.dram_bytes,

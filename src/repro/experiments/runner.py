@@ -12,8 +12,10 @@ Subcommands::
     mbs-repro all [--jobs N] [--only a,b] [--full] [--out DIR]
     mbs-repro all --render-from-cache [--only a,b] [--out DIR]
     mbs-repro sweep <artifact> [--set axis=v1,v2,... ...] [--jobs N]
-    mbs-repro bench [--only a,b] [--json PATH]
+    mbs-repro bench [--only a,b] [--json PATH] [--profile]
     mbs-repro schedule <network> [policy] [buffer MiB] [--objective OBJ]
+    mbs-repro sweep-schedule <network> [policy] [--buffers MiB,..]
+                             [--objective OBJ]
     mbs-repro export [results.json] [--full] [--jobs N]
     mbs-repro fingerprint
     mbs-repro list
@@ -35,6 +37,13 @@ so unchanged code replays cached manifests across pushes.  ``schedule
 --objective latency|latency+traffic|energy`` builds the adaptive
 schedule that minimizes simulated step time / time-then-bytes
 lexicographic / simulated step energy instead of DRAM bytes.
+
+``sweep-schedule`` builds one schedule per buffer size through the
+batch :func:`~repro.core.policies.sweep_schedules` engine — the whole
+sweep shares one set of pricing caches, and the summary row reports
+the group-price memo hit rate that makes dense sweeps cheap.  ``bench
+--profile`` runs each produce-fn under :mod:`cProfile` and prints the
+top cumulative-time functions instead of wall-clock rows.
 
 Legacy form ``mbs-repro <artifact> [driver args]`` still dispatches to
 the driver module directly (always recomputes).
@@ -60,8 +69,8 @@ from repro.runtime import (
     task_key,
 )
 
-SUBCOMMANDS = ("run", "all", "sweep", "bench", "schedule", "export",
-               "fingerprint", "list")
+SUBCOMMANDS = ("run", "all", "sweep", "bench", "schedule",
+               "sweep-schedule", "export", "fingerprint", "list")
 
 
 def _schedule_command(rest: list[str]) -> int:
@@ -117,6 +126,86 @@ def _schedule_command(rest: list[str]) -> int:
     print(f"\nsimulated step time: {step.time_s * 1e3:.3f} ms")
     print(f"simulated step energy: {step.energy.total_j * 1e3:.3f} mJ "
           f"(DRAM share {step.energy.share('dram') * 100:.1f}%)")
+    return 0
+
+
+def _sweep_schedule_command(rest: list[str]) -> int:
+    """Build one schedule per buffer size through the batch sweep engine."""
+    from repro.core.policies import (
+        HARDWARE_OBJECTIVES,
+        OBJECTIVES,
+        POLICIES,
+        SweepCaches,
+        sweep_schedules,
+    )
+    from repro.core.traffic import compute_traffic
+    from repro.experiments.tables import format_table
+    from repro.types import MIB
+    from repro.wavecore.config import config_for_policy
+    from repro.zoo import build
+
+    parser = argparse.ArgumentParser(
+        prog="mbs-repro sweep-schedule", add_help=False,
+        usage="mbs-repro sweep-schedule <network> [policy] "
+              "[--buffers MiB,..] [--objective OBJ]",
+    )
+    parser.add_argument("network", nargs="?")
+    parser.add_argument("policy", nargs="?", default="mbs-auto")
+    parser.add_argument("--buffers", default="1,2,5,10,20,40",
+                        metavar="MiB,..")
+    parser.add_argument("--objective", choices=OBJECTIVES, default="traffic")
+    try:
+        args = parser.parse_args(rest)
+    except SystemExit:
+        return 2
+    if not args.network:
+        print("usage: mbs-repro sweep-schedule <network> [policy] "
+              f"[--buffers MiB,..] [--objective {'|'.join(OBJECTIVES)}]")
+        print(f"policies: {' '.join(POLICIES)}  (default: mbs-auto)")
+        return 2
+    try:
+        buffers_mib = tuple(float(v) for v in args.buffers.split(",") if v)
+    except ValueError:
+        print(f"--buffers expects comma-separated MiB values, got "
+              f"{args.buffers!r}", file=sys.stderr)
+        return 2
+    buffer_sizes = [int(b * MIB) for b in buffers_mib]
+    # Schedule pricing never reads cfg.global_buffer_bytes (the sweep
+    # point carries the budget), so one cfg covers every point.
+    cfg = config_for_policy(args.policy, buffer_bytes=buffer_sizes[0])
+    caches = SweepCaches()
+    try:
+        net = build(args.network)
+        scheds = sweep_schedules(
+            net, args.policy, buffer_sizes,
+            objective=args.objective,
+            cfg=cfg if args.objective in HARDWARE_OBJECTIVES else None,
+            caches=caches,
+        )
+    except (KeyError, ValueError) as exc:
+        print(str(exc).strip("'\""), file=sys.stderr)
+        return 2
+    rows = []
+    for buf, sched in zip(buffers_mib, scheds):
+        subs = [g.sub_batch for g in sched.groups]
+        rep = compute_traffic(net, sched)
+        rows.append([
+            f"{buf:g} MiB", str(len(sched.groups)),
+            f"{min(subs)}..{max(subs)}" if subs else "-",
+            str(sched.relu_mask),
+            f"{rep.total_bytes / 2**30:.3f}",
+        ])
+    print(format_table(
+        ["buffer", "groups", "sub-batch", "relu mask", "DRAM GiB/step"],
+        rows,
+        title=(f"sweep-schedule — {args.network} {args.policy} "
+               f"objective={args.objective}"),
+    ))
+    total = caches.hits + caches.misses
+    if total:
+        print(f"\ngroup-price memo: {caches.hits} hits / "
+              f"{caches.misses} misses "
+              f"({100.0 * caches.hits / total:.1f}% hit rate)")
     return 0
 
 
@@ -195,6 +284,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true")
     p.add_argument("--json", metavar="PATH", default=None,
                    help="write timings as JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="run each produce-fn under cProfile and print "
+                        "the top cumulative-time functions")
     p.add_argument("--cache-dir", metavar="DIR", default=None,
                    help="where fresh manifests land (cache is bypassed)")
 
@@ -440,6 +532,8 @@ def _cmd_bench(args) -> int:
     except SystemExit as exc:
         print(exc, file=sys.stderr)
         return 2
+    if args.profile:
+        return _bench_profile(specs, full=args.full)
     cache = _make_cache(args)
     results = []
     for spec in specs:
@@ -466,6 +560,33 @@ def _cmd_bench(args) -> int:
         print(f"wrote {args.json}")
     _print_failures(results)
     return 0 if all(r.ok for r in results) else 1
+
+
+def _bench_profile(specs, full: bool) -> int:
+    """``bench --profile``: cProfile each produce-fn, print hot spots.
+
+    Each spec runs inline (serial, cache bypassed, memoized networks
+    cleared) so the profile covers exactly one cold produce call; the
+    top functions by cumulative time show where a slow artifact spends
+    it — typically the schedule search or the per-layer pricing loops.
+    """
+    import cProfile
+    import pstats
+
+    from repro.experiments.common import clear_caches
+
+    for spec in specs:
+        clear_caches()
+        params = Task(spec, {}, quick=not full).params()
+        prof = cProfile.Profile()
+        prof.enable()
+        spec.produce(**params)
+        prof.disable()
+        print(f"\n{'=' * 72}\n== {spec.name} (cProfile, cumulative)\n"
+              f"{'=' * 72}")
+        stats = pstats.Stats(prof, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    return 0
 
 
 def _cmd_export(args) -> int:
@@ -509,6 +630,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if argv[0] == "schedule":
         return _schedule_command(argv[1:])
+    if argv[0] == "sweep-schedule":
+        return _sweep_schedule_command(argv[1:])
     if argv[0] in ALL_EXPERIMENTS:
         # legacy direct dispatch: always recompute, print the figure
         ALL_EXPERIMENTS[argv[0]].main(argv[1:])

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.graph.layers import EltwiseAdd, Layer
 from repro.types import Shape
@@ -38,6 +39,12 @@ class Branch:
 
     def tail_shape(self, in_shape: Shape) -> Shape:
         """Shape after this branch's own chain (before any fork)."""
+        # per-instance cache keyed by the (cheaply hashable) input shape:
+        # the schedulers query branch shapes tens of thousands of times
+        cache = self.__dict__.setdefault("_tail_cache", {})
+        got = cache.get(in_shape)
+        if got is not None:
+            return got
         shape = in_shape
         for layer in self.layers:
             if layer.in_shape != shape:
@@ -46,24 +53,34 @@ class Branch:
                     f"{shape}, layer declares {layer.in_shape}"
                 )
             shape = layer.out_shape
+        cache[in_shape] = shape
         return shape
 
     def leaf_shapes(self, in_shape: Shape) -> list[Shape]:
         """Output shapes contributed to the block merge, in order."""
-        tail = self.tail_shape(in_shape)
-        if not self.children:
-            return [tail]
-        out: list[Shape] = []
-        for child in self.children:
-            out.extend(child.leaf_shapes(tail))
-        return out
+        cache = self.__dict__.setdefault("_leaf_cache", {})
+        got = cache.get(in_shape)
+        if got is None:
+            tail = self.tail_shape(in_shape)
+            if not self.children:
+                got = [tail]
+            else:
+                got = []
+                for child in self.children:
+                    got.extend(child.leaf_shapes(tail))
+            cache[in_shape] = got
+        return list(got)
 
-    def walk(self) -> list[Layer]:
-        """All layers in execution order (own chain, then each child)."""
+    @cached_property
+    def _walked(self) -> tuple[Layer, ...]:
         out = list(self.layers)
         for child in self.children:
             out.extend(child.walk())
-        return out
+        return tuple(out)
+
+    def walk(self) -> list[Layer]:
+        """All layers in execution order (own chain, then each child)."""
+        return list(self._walked)
 
     @property
     def is_identity(self) -> bool:
@@ -98,7 +115,7 @@ class Block:
     # ------------------------------------------------------------------
     # shapes
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def merged_shape(self) -> Shape:
         """Shape right after the merge (before ``post_merge``)."""
         leaf_lists = [b.leaf_shapes(self.in_shape) for b in self.branches]
@@ -128,7 +145,7 @@ class Block:
             channels += s.c
         return Shape(channels, first.h, first.w)
 
-    @property
+    @cached_property
     def out_shape(self) -> Shape:
         shape = self.merged_shape
         for layer in self.post_merge:
@@ -148,15 +165,15 @@ class Block:
         """True for multi-branch blocks (residual / inception modules)."""
         return len(self.branches) > 1 or any(b.children for b in self.branches)
 
-    @property
+    @cached_property
     def merge_layer(self) -> EltwiseAdd | None:
         """Synthetic element-wise layer representing an ADD merge."""
         if self.merge is MergeKind.ADD:
             return EltwiseAdd(name=f"{self.name}.add", in_shape=self.merged_shape)
         return None
 
-    def all_layers(self) -> list[Layer]:
-        """Every layer in execution order, including merge and post-merge."""
+    @cached_property
+    def _all_layers(self) -> tuple[Layer, ...]:
         out: list[Layer] = []
         for branch in self.branches:
             out.extend(branch.walk())
@@ -164,7 +181,11 @@ class Block:
         if merge is not None:
             out.append(merge)
         out.extend(self.post_merge)
-        return out
+        return tuple(out)
+
+    def all_layers(self) -> list[Layer]:
+        """Every layer in execution order, including merge and post-merge."""
+        return list(self._all_layers)
 
     @property
     def param_count(self) -> int:

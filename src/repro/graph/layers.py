@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.graph import shapes as _shapes
 from repro.types import WORD_BYTES, Shape
@@ -89,7 +90,11 @@ class Conv2D(Layer):
     def kind(self) -> LayerKind:
         return LayerKind.CONV
 
-    @property
+    # cached: the timing/traffic models query out_shape tens of thousands
+    # of times per schedule search (works on a frozen dataclass — the
+    # cache writes the instance __dict__ directly, and dataclass
+    # eq/hash/repr only consider declared fields)
+    @cached_property
     def out_shape(self) -> Shape:
         return _shapes.conv_out_shape(
             self.in_shape, self.out_channels, self.kernel, self.stride, self.padding
@@ -212,8 +217,8 @@ class Pool(Layer):
     def kind(self) -> LayerKind:
         return LayerKind.POOL
 
-    @property
-    def out_shape(self) -> Shape:
+    @cached_property
+    def out_shape(self) -> Shape:  # cached — see Conv2D.out_shape
         if self.global_pool:
             return Shape(self.in_shape.c, 1, 1)
         return _shapes.pool_out_shape(

@@ -147,6 +147,42 @@ def per_layer_dram(
     return out
 
 
+def block_compute_profile(
+    net: Network,
+    idx: int,
+    mini_batch: int,
+    sub_batch: int,
+    cfg: WaveCoreConfig,
+) -> tuple[tuple[str, str, Phase, int, int, float], ...]:
+    """Buffer-independent compute profile of block ``idx``.
+
+    One row per (layer, phase) in execution order:
+    ``(layer_name, kind, phase, systolic_cycles, macs, compute_s)``.
+    The profile depends only on ``(net, idx, mini_batch, sub_batch,
+    cfg)`` — never on scheduling decisions (boundary placement, reuse,
+    ReLU masking) or buffer size — so callers may cache it across DP
+    probes and buffer-sweep points.
+    """
+    block = net.blocks[idx]
+    first_layer_name = net.blocks[0].all_layers()[0].name
+    rows = []
+    for phase in (Phase.FWD, Phase.BWD):
+        for layer in block.all_layers():
+            comp = layer_compute(
+                layer, phase, mini_batch, sub_batch, cfg,
+                skip_data_grad=(idx == 0 and layer.name == first_layer_name),
+            )
+            compute_s = (
+                comp.cycles / cfg.clock_hz if comp.is_systolic
+                else comp.vector_s
+            )
+            rows.append((
+                layer.name, layer.kind.value, phase,
+                comp.cycles, comp.macs, compute_s,
+            ))
+    return tuple(rows)
+
+
 def block_layer_timings(
     net: Network,
     idx: int,
@@ -155,6 +191,7 @@ def block_layer_timings(
     cfg: WaveCoreConfig,
     dram_of: Callable[[str, Phase], int],
     unlimited_bandwidth: bool = False,
+    profile: tuple[tuple[str, str, Phase, int, int, float], ...] | None = None,
 ) -> Iterator[LayerTiming]:
     """Per-layer timing of block ``idx``: both phases, in execution order.
 
@@ -164,33 +201,29 @@ def block_layer_timings(
     compute and memory time combine — :func:`~repro.wavecore.simulator.
     simulate_step` and the latency cost model both iterate it, so a
     per-group price can never drift from the simulated step time.
+
+    ``profile`` may carry a precomputed :func:`block_compute_profile`
+    for the same ``(net, idx, mini_batch, sub_batch, cfg)``; the
+    compute side is then not re-derived.
     """
     block = net.blocks[idx]
-    first_layer_name = net.blocks[0].all_layers()[0].name
+    if profile is None:
+        profile = block_compute_profile(net, idx, mini_batch, sub_batch, cfg)
     core_bw = cfg.core_bandwidth
-    for phase in (Phase.FWD, Phase.BWD):
-        for layer in block.all_layers():
-            comp = layer_compute(
-                layer, phase, mini_batch, sub_batch, cfg,
-                skip_data_grad=(idx == 0 and layer.name == first_layer_name),
-            )
-            dram = dram_of(layer.name, phase)
-            compute_s = (
-                comp.cycles / cfg.clock_hz if comp.is_systolic
-                else comp.vector_s
-            )
-            dram_s = 0.0 if unlimited_bandwidth else dram / core_bw
-            yield LayerTiming(
-                block=block.name,
-                layer=layer.name,
-                kind=layer.kind.value,
-                phase=phase.value,
-                compute_cycles=comp.cycles,
-                macs=comp.macs,
-                dram_bytes=dram,
-                compute_s=compute_s,
-                dram_s=dram_s,
-            )
+    for name, kind, phase, cycles, macs, compute_s in profile:
+        dram = dram_of(name, phase)
+        dram_s = 0.0 if unlimited_bandwidth else dram / core_bw
+        yield LayerTiming(
+            block=block.name,
+            layer=name,
+            kind=kind,
+            phase=phase.value,
+            compute_cycles=cycles,
+            macs=macs,
+            dram_bytes=dram,
+            compute_s=compute_s,
+            dram_s=dram_s,
+        )
 
 
 def gbuf_bytes_for_layer(
@@ -231,3 +264,27 @@ def gbuf_bytes_for_layer(
 
     passes = _VECTOR_PASSES.get((layer.kind, phase), 1.0)
     return int(2 * passes * layer.out_shape.elems * mini_batch * word_bytes)
+
+
+def block_gbuf_bytes(
+    net: Network,
+    idx: int,
+    mini_batch: int,
+    sub_batch: int,
+    cfg: WaveCoreConfig,
+    word_bytes: int = 2,
+) -> int:
+    """Global-buffer traffic of block ``idx`` over both phases.
+
+    A pure integer sum of :func:`gbuf_bytes_for_layer`, independent of
+    scheduling decisions and buffer size — cacheable per
+    ``(idx, sub_batch)`` like :func:`block_compute_profile`.
+    """
+    block = net.blocks[idx]
+    total = 0
+    for phase in (Phase.FWD, Phase.BWD):
+        for layer in block.all_layers():
+            total += gbuf_bytes_for_layer(
+                layer, phase, mini_batch, sub_batch, cfg, word_bytes,
+            )
+    return total

@@ -27,10 +27,18 @@ from repro.core.cost import (
     LatencyCostModel,
     LexCost,
     LexicographicCostModel,
+    MemoizedCostModel,
     TrafficCostModel,
 )
-from repro.core.grouping import AdaptiveGroup, adaptive_grouping
-from repro.core.policies import POLICIES, make_schedule
+from repro.core.grouping import AdaptiveGroup, adaptive_grouping, split_segments
+from repro.core.policies import (
+    OBJECTIVES,
+    POLICIES,
+    SweepCaches,
+    make_schedule,
+    sweep_schedules,
+)
+from repro.core.subbatch import per_block_sub_batches
 from repro.core.traffic import compute_traffic
 from repro.types import KIB
 from repro.wavecore.config import config_for_policy
@@ -374,3 +382,271 @@ class TestLexCostValue:
         gain = LexCost(3.0, 5) - LexCost(1.0, 2)
         assert gain == LexCost(2.0, 3)
         assert gain > 0.0
+
+
+def _exact_model(net, sched, cfg):
+    """The evaluator-grade model of a schedule's recorded objective."""
+    if sched.objective == "latency":
+        return LatencyCostModel.for_schedule(net, sched, cfg=cfg)
+    if sched.objective == "energy":
+        return EnergyCostModel.for_schedule(net, sched, cfg=cfg)
+    if sched.objective == "latency+traffic":
+        return LexicographicCostModel(
+            LatencyCostModel.for_schedule(net, sched, cfg=cfg),
+            TrafficCostModel.for_schedule(net, sched),
+        )
+    return TrafficCostModel.for_schedule(net, sched)
+
+
+class TestSweepMemoBitExactness:
+    """Acceptance: the batch sweep API (group prices memoized across
+    points) emits exactly the schedules of naive per-point calls, for
+    every policy and every objective, across the acceptance buffer grid.
+
+    This is the correctness contract of the whole memoization stack:
+    per-block walker memos, the cross-sweep group-price store, and the
+    canonicalized reuse-budget keying must all be invisible in the
+    output."""
+
+    @pytest.mark.parametrize("net_name", NETWORKS)
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_swept_equals_per_point_mbs_auto(self, nets, net_name, objective):
+        net = nets[net_name]
+        cfg = (config_for_policy("mbs-auto", buffer_bytes=BUFFERS[0])
+               if objective != "traffic" else None)
+        naive = [
+            make_schedule(net, "mbs-auto", buffer_bytes=buf,
+                          objective=objective, cfg=cfg)
+            for buf in BUFFERS
+        ]
+        caches = SweepCaches()
+        swept = sweep_schedules(net, "mbs-auto", BUFFERS,
+                                objective=objective, cfg=cfg, caches=caches)
+        assert swept == naive
+        # dense-enough grids genuinely share work; an always-cold store
+        # would still be correct but defeat the point of the sweep API
+        assert caches.hits + caches.misses > 0
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_swept_equals_per_point_fixed_policies(self, nets, policy):
+        net = nets["toy_inception"]
+        bufs = (16 * KIB, 1024 * KIB)
+        naive = [make_schedule(net, policy, buffer_bytes=b) for b in bufs]
+        assert sweep_schedules(net, policy, bufs) == naive
+
+    def test_repeated_point_is_all_hits(self, nets):
+        """Re-visiting a buffer size must add zero misses: every group
+        probe of the second pass is answered by the shared store."""
+        net = nets["toy_inception"]
+        caches = SweepCaches()
+        first = sweep_schedules(net, "mbs-auto", (64 * KIB,), caches=caches)
+        misses_after_first = caches.misses
+        again = sweep_schedules(net, "mbs-auto", (64 * KIB,), caches=caches)
+        assert again == first
+        assert caches.misses == misses_after_first
+        assert caches.hits > 0
+
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_memoized_group_prices_match_inner(self, nets, objective):
+        """MemoizedCostModel is bit-transparent over every walker-backed
+        model: identical values on first (miss) and repeat (hit) probes."""
+        net = nets["toy_inception"]
+        buf = 64 * KIB
+        sched = make_schedule(net, "mbs-auto", buffer_bytes=buf,
+                              objective=objective)
+        cfg = config_for_policy("mbs-auto", buffer_bytes=buf)
+        inner = _exact_model(net, sched, cfg)
+        memo = MemoizedCostModel(inner)
+        for g in sched.groups:
+            reuse = bool(sched.branch_reuse_of(g.blocks[0]))
+            exact = inner.group_cost(g.blocks, g.sub_batch, reuse,
+                                     g.block_fused)
+            assert memo.group_cost(g.blocks, g.sub_batch, reuse,
+                                   g.block_fused) == exact
+            assert memo.group_cost(g.blocks, g.sub_batch, reuse,
+                                   g.block_fused) == exact
+        assert memo.hits == memo.misses == len(sched.groups)
+
+
+class _CountingModel:
+    """Stub inner model that counts how often it is actually priced."""
+
+    relu_mask = True
+
+    def __init__(self):
+        self.calls = 0
+
+    def group_cost(self, blocks, sub_batch, branch_reuse, block_fused=None):
+        self.calls += 1
+        return float(len(blocks) * (sub_batch + 1))
+
+    def boundary_cost(self, idx, branch_reuse):
+        return 0.0
+
+
+class TestMemoCounters:
+    """Hit/miss bookkeeping of the memo layers, pinned on stubs."""
+
+    def test_hit_and_miss_counts(self):
+        memo = MemoizedCostModel(_CountingModel())
+        assert memo.group_cost((0, 1), 2, True) == 6.0
+        assert (memo.hits, memo.misses) == (0, 1)
+        assert memo.group_cost((0, 1), 2, True) == 6.0
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert memo.inner.calls == 1
+
+    def test_key_distinguishes_every_pricing_fact(self):
+        memo = MemoizedCostModel(_CountingModel())
+        memo.group_cost((0, 1), 2, True)
+        memo.group_cost((0, 1), 1, True)      # sub-batch differs
+        memo.group_cost((0, 1), 2, False)     # provisioning differs
+        memo.group_cost((0, 2), 2, True)      # members differ
+        memo.group_cost((0, 1), 2, True, block_fused=(True, False))
+        assert memo.hits == 0 and memo.misses == 5
+
+    def test_shared_store_spans_model_instances(self):
+        store = {}
+        first = MemoizedCostModel(_CountingModel(), store=store)
+        first.group_cost((3, 4), 2, True)
+        second = MemoizedCostModel(_CountingModel(), store=store)
+        assert second.group_cost((3, 4), 2, True) == 6.0
+        assert second.hits == 1 and second.misses == 0
+        assert second.inner.calls == 0  # never re-priced
+
+    def test_streaming_cost_is_the_spilled_group_probe(self):
+        memo = MemoizedCostModel(_CountingModel())
+        assert memo.streaming_cost(5) == memo.group_cost(
+            (5,), 0, False, block_fused=(False,)
+        )
+        assert memo.hits == 1  # the second probe hit the first's entry
+
+    def test_sweep_caches_accumulate_search_counters(self, nets=None):
+        net = build("toy_inception")
+        caches = SweepCaches()
+        sweep_schedules(net, "mbs-auto", (32 * KIB, 64 * KIB),
+                        caches=caches)
+        assert caches.misses > 0
+        total = caches.hits + caches.misses
+        assert total > caches.misses  # cross-point sharing happened
+
+
+class TestPrunedDPExactness:
+    """The admissible-floor early exit must be invisible: pruned and
+    unpruned scans pick the identical partition on real windows under
+    every cost-value type (int bytes, float joules, LexCost)."""
+
+    def _models(self, net, mb, buf, cfg):
+        return (
+            TrafficCostModel(net, mb, relu_mask=True, layer_reuse_bytes=buf),
+            EnergyCostModel(net, mb, relu_mask=True, layer_reuse_bytes=buf,
+                            cfg=cfg),
+            LexicographicCostModel(
+                LatencyCostModel(net, mb, relu_mask=True,
+                                 layer_reuse_bytes=buf, cfg=cfg),
+                TrafficCostModel(net, mb, relu_mask=True,
+                                 layer_reuse_bytes=buf),
+            ),
+        )
+
+    @pytest.mark.parametrize("net_name",
+                             ("toy_inception", "toy_residual", "resnet50"))
+    def test_prune_true_equals_prune_false(self, nets, net_name):
+        net = nets[net_name]
+        mb = net.default_mini_batch
+        for buf in (16 * KIB, 256 * KIB):
+            cfg = config_for_policy("mbs-auto", buffer_bytes=buf)
+            feas_reuse = per_block_sub_batches(net, buf, mb,
+                                               branch_reuse=True)
+            feas_plain = per_block_sub_batches(net, buf, mb,
+                                               branch_reuse=False)
+            for seg in split_segments(feas_plain):
+                if isinstance(seg, int):
+                    continue
+                start, end = seg
+                blocks = tuple(range(start, end + 1))
+                kwargs = dict(
+                    blocks=blocks,
+                    feasible_reuse=tuple(feas_reuse[start:end + 1]),
+                    feasible_noreuse=tuple(feas_plain[start:end + 1]),
+                    mini_batch=mb,
+                )
+                for model in self._models(net, mb, buf, cfg):
+                    pruned = adaptive_grouping(cost_model=model, **kwargs)
+                    full = adaptive_grouping(cost_model=model, prune=False,
+                                             **kwargs)
+                    assert pruned == full, (net_name, buf, blocks[:3])
+
+    def test_degenerate_single_block_window(self):
+        """Regression: a 1-block window must backtrack cleanly — every
+        prefix needs a typed AdaptiveGroup choice, and the floor-pruning
+        machinery (which needs n > 1) must not disturb it."""
+        model = _CountingModel()
+        for feas in ((1,), (4,)):
+            groups = adaptive_grouping(
+                blocks=(7,), feasible_reuse=feas, feasible_noreuse=feas,
+                mini_batch=8, cost_model=model,
+            )
+            assert len(groups) == 1
+            g = groups[0]
+            assert isinstance(g, AdaptiveGroup)
+            assert (g.start, g.end) == (0, 0)
+            # the stub prices streaming cheapest (sub_batch 0 term)
+            assert g.branch_reuse is None and g.sub_batch == 0
+
+
+class TestReluMaskAuto:
+    """``relu_mask="auto"``: price both settings, keep the cheaper —
+    never worse than the fixed ``relu_mask=True`` default, under the
+    exact model of whichever objective is being optimized."""
+
+    @pytest.mark.parametrize("net_name",
+                             ("toy_inception", "toy_residual", "resnet50"))
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_never_worse_than_fixed_true(self, nets, net_name, objective):
+        net = nets[net_name]
+        for buf in (16 * KIB, 64 * KIB, 1024 * KIB):
+            cfg = (config_for_policy("mbs-auto", buffer_bytes=buf)
+                   if objective != "traffic" else None)
+            auto = make_schedule(net, "mbs-auto", buffer_bytes=buf,
+                                 objective=objective, cfg=cfg,
+                                 relu_mask="auto")
+            fixed = make_schedule(net, "mbs-auto", buffer_bytes=buf,
+                                  objective=objective, cfg=cfg,
+                                  relu_mask=True)
+            eval_cfg = cfg or config_for_policy("mbs-auto", buffer_bytes=buf)
+            cost_auto = _exact_model(net, auto, eval_cfg).schedule_cost(auto)
+            cost_true = _exact_model(net, fixed, eval_cfg).schedule_cost(fixed)
+            # LexCost defines only strict order: auto <= true iff not <
+            assert not cost_true < cost_auto, (net_name, objective, buf)
+
+    def test_ties_keep_the_paper_default(self, nets):
+        """When both settings price identically the schedule records
+        ``relu_mask=True`` (the True candidate is priced first and only
+        a strictly cheaper alternative replaces it)."""
+        net = nets["toy_chain"]
+        auto = make_schedule(net, "mbs-auto", relu_mask="auto")
+        fixed = make_schedule(net, "mbs-auto", relu_mask=True)
+        if TrafficCostModel.for_schedule(net, auto).schedule_cost(auto) == \
+                TrafficCostModel.for_schedule(net, fixed).schedule_cost(fixed):
+            assert auto.relu_mask is True
+
+    def test_explicit_bool_is_forced(self, nets):
+        net = nets["toy_chain"]
+        assert make_schedule(net, "mbs-auto",
+                             relu_mask=False).relu_mask is False
+        assert make_schedule(net, "mbs-auto",
+                             relu_mask=True).relu_mask is True
+
+    def test_rejected_for_fixed_policies(self, nets):
+        net = nets["toy_chain"]
+        with pytest.raises(ValueError, match="fixed by the paper"):
+            make_schedule(net, "mbs2", relu_mask=False)
+        with pytest.raises(ValueError, match="fixed by the paper"):
+            make_schedule(net, "baseline", relu_mask="auto")
+
+    def test_rejects_non_bool_non_auto(self, nets):
+        net = nets["toy_chain"]
+        with pytest.raises(ValueError, match="True, False, or 'auto'"):
+            make_schedule(net, "mbs-auto", relu_mask="yes")
+        with pytest.raises(ValueError, match="True, False, or 'auto'"):
+            make_schedule(net, "mbs-auto", relu_mask=1)

@@ -118,6 +118,41 @@ class TestExitCodes:
         assert main(["schedule", "resnet5"]) == 2
         assert "unknown network" in capsys.readouterr().err
 
+    def test_sweep_schedule_command(self, capsys):
+        assert main(["sweep-schedule", "toy_inception", "mbs-auto",
+                     "--buffers", "0.1,0.5,1"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-schedule — toy_inception mbs-auto" in out
+        assert "DRAM GiB/step" in out
+        assert "group-price memo" in out and "hit rate" in out
+
+    def test_sweep_schedule_hardware_objective(self, capsys):
+        assert main(["sweep-schedule", "toy_inception", "mbs-auto",
+                     "--buffers", "0.1,1", "--objective", "energy"]) == 0
+        assert "objective=energy" in capsys.readouterr().out
+
+    def test_sweep_schedule_needs_network(self, capsys):
+        assert main(["sweep-schedule"]) == 2
+
+    def test_sweep_schedule_rejects_bad_buffers(self, capsys):
+        assert main(["sweep-schedule", "toy_chain", "mbs2",
+                     "--buffers", "ten"]) == 2
+
+    def test_sweep_schedule_unknown_network_is_usage_error(self, capsys):
+        assert main(["sweep-schedule", "resnet5"]) == 2
+        assert "unknown network" in capsys.readouterr().err
+
+    def test_sweep_schedule_rejects_objective_for_fixed_policy(self, capsys):
+        assert main(["sweep-schedule", "toy_chain", "mbs2",
+                     "--objective", "latency"]) == 2
+        assert "requires the adaptive" in capsys.readouterr().err
+
+    def test_bench_profile_prints_hot_functions(self, capsys):
+        assert main(["bench", "--only", "tab2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "tab2 (cProfile, cumulative)" in out
+        assert "cumtime" in out
+
     def test_fingerprint_prints_cache_key_component(self, capsys):
         from repro.runtime import code_fingerprint
 
