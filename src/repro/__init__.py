@@ -5,14 +5,20 @@ Inter-layer Data Reuse" (SysML/MLSys 2019).  The public API surfaces the
 four things a user does:
 
 * build or define a network — :mod:`repro.zoo`, :mod:`repro.graph`;
-* schedule it — :func:`repro.core.make_schedule` and
-  :func:`repro.core.compute_traffic`;
+* price a schedule for it — :mod:`repro.api` (the supported, stable
+  facade: :func:`repro.api.price` / :func:`repro.api.sweep`), or serve
+  prices over HTTP — :mod:`repro.serve`;
 * simulate the WaveCore accelerator — :func:`repro.wavecore.simulate_step`;
 * verify/re-run the training numerics — :mod:`repro.nn`.
+
+The deeper entry points (:func:`repro.core.make_schedule`,
+:func:`repro.core.compute_traffic`) remain importable but only
+:mod:`repro.api` carries the stability promise.
 
 See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
 results on every table and figure.
 """
+from repro import api
 from repro.core import compute_traffic, make_schedule
 from repro.types import GIB, KIB, MIB, Shape
 from repro.wavecore import simulate_step
@@ -25,6 +31,7 @@ __all__ = [
     "MIB",
     "Shape",
     "__version__",
+    "api",
     "compute_traffic",
     "make_schedule",
     "simulate_step",

@@ -13,9 +13,11 @@ Subcommands::
     mbs-repro all --render-from-cache [--only a,b] [--out DIR]
     mbs-repro sweep <artifact> [--set axis=v1,v2,... ...] [--jobs N]
     mbs-repro bench [--only a,b] [--json PATH] [--profile]
-    mbs-repro schedule <network> [policy] [buffer MiB] [--objective OBJ]
+    mbs-repro schedule (<network> | --graph FILE.json) [policy]
+                       [buffer MiB] [--objective OBJ] [--json]
     mbs-repro sweep-schedule <network> [policy] [--buffers MiB,..]
                              [--objective OBJ]
+    mbs-repro serve [--host H] [--port P] [--workers N] [--timeout S]
     mbs-repro export [results.json] [--full] [--jobs N]
     mbs-repro fingerprint
     mbs-repro list
@@ -38,12 +40,20 @@ so unchanged code replays cached manifests across pushes.  ``schedule
 schedule that minimizes simulated step time / time-then-bytes
 lexicographic / simulated step energy instead of DRAM bytes.
 
-``sweep-schedule`` builds one schedule per buffer size through the
-batch :func:`~repro.core.policies.sweep_schedules` engine — the whole
-sweep shares one set of pricing caches, and the summary row reports
-the group-price memo hit rate that makes dense sweeps cheap.  ``bench
---profile`` runs each produce-fn under :mod:`cProfile` and prints the
-top cumulative-time functions instead of wall-clock rows.
+``schedule`` and ``sweep-schedule`` are thin shells over the
+:mod:`repro.api` facade — the same calls the ``serve`` HTTP endpoints
+make, so the CLI, the Python API, and the server print bit-identical
+costs.  ``schedule --graph FILE.json`` prices an arbitrary schema-1
+wire graph (:mod:`repro.graph.serialize`) instead of a zoo network;
+``--json`` emits the exact :class:`~repro.api.ScheduleResult` wire
+object.  ``serve`` runs the scheduling-as-a-service HTTP server
+(:mod:`repro.serve`): request dedup, buffer-size batching, a
+persistent result cache, and greedy degradation under load.
+``sweep-schedule`` shares one set of pricing caches across the whole
+sweep and reports the group-price memo hit rate that makes dense
+sweeps cheap.  ``bench --profile`` runs each produce-fn under
+:mod:`cProfile` and prints the top cumulative-time functions instead
+of wall-clock rows.
 
 Legacy form ``mbs-repro <artifact> [driver args]`` still dispatches to
 the driver module directly (always recomputes).
@@ -70,79 +80,88 @@ from repro.runtime import (
 )
 
 SUBCOMMANDS = ("run", "all", "sweep", "bench", "schedule",
-               "sweep-schedule", "export", "fingerprint", "list")
+               "sweep-schedule", "serve", "export", "fingerprint", "list")
 
 
 def _schedule_command(rest: list[str]) -> int:
-    """Inspect the MBS schedule of any zoo network from the shell."""
-    from repro.core.policies import (
-        HARDWARE_OBJECTIVES,
-        OBJECTIVES,
-        POLICIES,
-        make_schedule,
-    )
-    from repro.core.traffic import compute_traffic
-    from repro.types import MIB
-    from repro.wavecore.config import config_for_policy
-    from repro.wavecore.simulator import simulate_step
-    from repro.zoo import build
+    """Inspect the MBS schedule of any network from the shell.
 
+    A thin shell over :func:`repro.api.price` — the same facade the
+    HTTP server and Python callers use, so every surface prints the
+    same costs bit-for-bit.
+    """
+    import json
+
+    from repro import api
+    from repro.graph.serialize import GraphSchemaError, loads_network
+    from repro.types import MIB
+
+    has_graph = any(a == "--graph" or a.startswith("--graph=")
+                    for a in rest)
     parser = argparse.ArgumentParser(
         prog="mbs-repro schedule", add_help=False,
-        usage="mbs-repro schedule <network> [policy] [buffer MiB] "
-              "[--objective OBJ]",
+        usage="mbs-repro schedule (<network> | --graph FILE.json) "
+              "[policy] [buffer MiB] [--objective OBJ] [--json]",
     )
-    parser.add_argument("network", nargs="?")
+    if not has_graph:
+        parser.add_argument("network", nargs="?")
     parser.add_argument("policy", nargs="?", default="mbs2")
     parser.add_argument("buffer_mib", nargs="?", type=int, default=10)
-    parser.add_argument("--objective", choices=OBJECTIVES, default="traffic")
+    parser.add_argument("--objective", choices=api.objectives(),
+                        default="traffic")
+    parser.add_argument("--graph", metavar="FILE.json")
+    parser.add_argument("--json", action="store_true", dest="as_json")
     try:
         args = parser.parse_args(rest)
     except SystemExit:
         return 2
-    if not args.network:
-        print("usage: mbs-repro schedule <network> [policy] [buffer MiB] "
-              f"[--objective {'|'.join(OBJECTIVES)}]")
-        print(f"policies: {' '.join(POLICIES)}  (default: mbs2)")
+    if not has_graph and not args.network:
+        print("usage: mbs-repro schedule (<network> | --graph FILE.json) "
+              "[policy] [buffer MiB] "
+              f"[--objective {'|'.join(api.objectives())}] [--json]")
+        print(f"policies: {' '.join(api.policies())}  (default: mbs2)")
         return 2
-    cfg = config_for_policy(args.policy, buffer_bytes=args.buffer_mib * MIB)
+    if has_graph:
+        # Malformed graph input is a data error (exit 1), not a usage
+        # error: the command line itself was fine.
+        try:
+            text = Path(args.graph).read_text()
+        except OSError as exc:
+            print(f"cannot read --graph file: {exc}", file=sys.stderr)
+            return 1
+        try:
+            network = loads_network(text)
+        except GraphSchemaError as exc:
+            print(f"--graph {args.graph}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        network = args.network
     try:
-        net = build(args.network)
-        sched = make_schedule(
-            net, args.policy, buffer_bytes=args.buffer_mib * MIB,
+        result = api.price(
+            network, args.policy, buffer_bytes=args.buffer_mib * MIB,
             objective=args.objective,
-            cfg=cfg if args.objective in HARDWARE_OBJECTIVES else None,
         )
-    except (KeyError, ValueError) as exc:
+    except ValueError as exc:
         # unknown network / policy / objective combination: usage error
         print(str(exc).strip("'\""), file=sys.stderr)
         return 2
-    print(sched.describe())
-    rep = compute_traffic(net, sched)
-    print(f"\nDRAM traffic/step: {rep.total_bytes / 2**30:.2f} GiB")
-    for cat, nbytes in sorted(rep.by_category().items(), key=lambda kv: -kv[1]):
-        print(f"  {cat.value:18s} {nbytes / 2**20:10.1f} MiB")
-    step = simulate_step(net, sched, cfg, traffic=rep)
-    print(f"\nsimulated step time: {step.time_s * 1e3:.3f} ms")
-    print(f"simulated step energy: {step.energy.total_j * 1e3:.3f} mJ "
-          f"(DRAM share {step.energy.share('dram') * 100:.1f}%)")
+    if args.as_json:
+        print(json.dumps(result.to_wire(), indent=1))
+    else:
+        print(result.describe())
     return 0
 
 
 def _sweep_schedule_command(rest: list[str]) -> int:
-    """Build one schedule per buffer size through the batch sweep engine."""
-    from repro.core.policies import (
-        HARDWARE_OBJECTIVES,
-        OBJECTIVES,
-        POLICIES,
-        SweepCaches,
-        sweep_schedules,
-    )
-    from repro.core.traffic import compute_traffic
+    """Build one schedule per buffer size through the batch sweep engine.
+
+    A thin shell over :func:`repro.api.sweep`; the per-point rows are
+    :class:`~repro.api.ScheduleResult` digests.
+    """
+    from repro import api
+    from repro.core.policies import SweepCaches
     from repro.experiments.tables import format_table
     from repro.types import MIB
-    from repro.wavecore.config import config_for_policy
-    from repro.zoo import build
 
     parser = argparse.ArgumentParser(
         prog="mbs-repro sweep-schedule", add_help=False,
@@ -153,15 +172,17 @@ def _sweep_schedule_command(rest: list[str]) -> int:
     parser.add_argument("policy", nargs="?", default="mbs-auto")
     parser.add_argument("--buffers", default="1,2,5,10,20,40",
                         metavar="MiB,..")
-    parser.add_argument("--objective", choices=OBJECTIVES, default="traffic")
+    parser.add_argument("--objective", choices=api.objectives(),
+                        default="traffic")
     try:
         args = parser.parse_args(rest)
     except SystemExit:
         return 2
     if not args.network:
         print("usage: mbs-repro sweep-schedule <network> [policy] "
-              f"[--buffers MiB,..] [--objective {'|'.join(OBJECTIVES)}]")
-        print(f"policies: {' '.join(POLICIES)}  (default: mbs-auto)")
+              "[--buffers MiB,..] "
+              f"[--objective {'|'.join(api.objectives())}]")
+        print(f"policies: {' '.join(api.policies())}  (default: mbs-auto)")
         return 2
     try:
         buffers_mib = tuple(float(v) for v in args.buffers.split(",") if v)
@@ -170,30 +191,23 @@ def _sweep_schedule_command(rest: list[str]) -> int:
               f"{args.buffers!r}", file=sys.stderr)
         return 2
     buffer_sizes = [int(b * MIB) for b in buffers_mib]
-    # Schedule pricing never reads cfg.global_buffer_bytes (the sweep
-    # point carries the budget), so one cfg covers every point.
-    cfg = config_for_policy(args.policy, buffer_bytes=buffer_sizes[0])
     caches = SweepCaches()
     try:
-        net = build(args.network)
-        scheds = sweep_schedules(
-            net, args.policy, buffer_sizes,
-            objective=args.objective,
-            cfg=cfg if args.objective in HARDWARE_OBJECTIVES else None,
-            caches=caches,
+        results = api.sweep(
+            args.network, args.policy, buffer_sizes,
+            objective=args.objective, caches=caches,
         )
-    except (KeyError, ValueError) as exc:
+    except ValueError as exc:
         print(str(exc).strip("'\""), file=sys.stderr)
         return 2
     rows = []
-    for buf, sched in zip(buffers_mib, scheds):
-        subs = [g.sub_batch for g in sched.groups]
-        rep = compute_traffic(net, sched)
+    for buf, res in zip(buffers_mib, results):
+        subs = [g.sub_batch for g in res.groups]
         rows.append([
-            f"{buf:g} MiB", str(len(sched.groups)),
+            f"{buf:g} MiB", str(len(res.groups)),
             f"{min(subs)}..{max(subs)}" if subs else "-",
-            str(sched.relu_mask),
-            f"{rep.total_bytes / 2**30:.3f}",
+            str(res.relu_mask),
+            f"{res.traffic_bytes / 2**30:.3f}",
         ])
     print(format_table(
         ["buffer", "groups", "sub-batch", "relu mask", "DRAM GiB/step"],
@@ -206,6 +220,47 @@ def _sweep_schedule_command(rest: list[str]) -> int:
         print(f"\ngroup-price memo: {caches.hits} hits / "
               f"{caches.misses} misses "
               f"({100.0 * caches.hits / total:.1f}% hit rate)")
+    return 0
+
+
+def _serve_command(rest: list[str]) -> int:
+    """Run the scheduling-as-a-service HTTP server until interrupted."""
+    import asyncio
+
+    from repro.serve import run_server
+
+    parser = argparse.ArgumentParser(
+        prog="mbs-repro serve", add_help=False,
+        usage="mbs-repro serve [--host H] [--port P] [--workers N] "
+              "[--timeout S] [--max-pending N] [--cache-dir DIR] "
+              "[--no-cache]",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--max-pending", type=int, default=64)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    try:
+        args = parser.parse_args(rest)
+    except SystemExit:
+        return 2
+    if args.workers < 0 or args.timeout <= 0 or args.max_pending < 0:
+        print("serve: --workers/--max-pending must be >= 0 and "
+              "--timeout > 0", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else (
+        ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    )
+    try:
+        asyncio.run(run_server(
+            host=args.host, port=args.port, workers=args.workers,
+            timeout_s=args.timeout, max_pending=args.max_pending,
+            cache=cache,
+        ))
+    except KeyboardInterrupt:
+        print("\nserve: interrupted, shutting down")
     return 0
 
 
@@ -632,6 +687,8 @@ def main(argv: list[str] | None = None) -> int:
         return _schedule_command(argv[1:])
     if argv[0] == "sweep-schedule":
         return _sweep_schedule_command(argv[1:])
+    if argv[0] == "serve":
+        return _serve_command(argv[1:])
     if argv[0] in ALL_EXPERIMENTS:
         # legacy direct dispatch: always recompute, print the figure
         ALL_EXPERIMENTS[argv[0]].main(argv[1:])

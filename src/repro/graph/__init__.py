@@ -17,6 +17,12 @@ from repro.graph.layers import (
 )
 from repro.graph.blocks import Block, Branch, MergeKind
 from repro.graph.network import Network
+from repro.graph.serialize import (
+    GraphSchemaError,
+    dumps_network,
+    loads_network,
+    network_fingerprint,
+)
 from repro.graph import render, stats
 
 __all__ = [
@@ -26,10 +32,14 @@ __all__ = [
     "Conv2D",
     "EltwiseAdd",
     "FullyConnected",
+    "GraphSchemaError",
     "Layer",
     "MergeKind",
     "Network",
     "Norm",
     "Pool",
+    "dumps_network",
+    "loads_network",
+    "network_fingerprint",
     "stats",
 ]

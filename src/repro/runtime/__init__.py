@@ -24,7 +24,7 @@ from repro.runtime.cache import (
     manifest_bytes,
     task_key,
 )
-from repro.runtime.pool import Task, TaskResult, run_tasks
+from repro.runtime.pool import Task, TaskResult, WorkerPool, run_tasks
 from repro.runtime.serialize import canonical_dumps, jsonify
 from repro.runtime.spec import (
     ExperimentSpec,
@@ -40,6 +40,7 @@ __all__ = [
     "ResultCache",
     "Task",
     "TaskResult",
+    "WorkerPool",
     "all_specs",
     "canonical_dumps",
     "code_fingerprint",

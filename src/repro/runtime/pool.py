@@ -37,6 +37,53 @@ from repro.runtime.spec import ExperimentSpec
 DEFAULT_TIMEOUT_S = 600.0
 
 
+class WorkerPool:
+    """Reusable process-pool wrapper shared by the sweep engine and the
+    ``mbs-repro serve`` schedule engine.
+
+    Wraps :class:`concurrent.futures.ProcessPoolExecutor` with the two
+    behaviors both callers need: lazy spawn (constructing a pool is
+    free until the first submit — the serve path builds one at startup
+    whether or not traffic arrives) and a :meth:`shutdown` that can
+    *terminate* busy workers (the executor itself cannot cancel a
+    running task, and non-daemon workers would otherwise be joined at
+    interpreter exit, hanging the process on a stuck function).
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+
+    @property
+    def executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+        return self._executor
+
+    def submit(self, fn, /, *args, **kwargs) -> concurrent.futures.Future:
+        return self.executor.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False,
+                 terminate: bool = False) -> None:
+        """Release the workers; ``terminate=True`` kills busy ones.
+
+        Snapshot the worker handles first — ``shutdown(wait=False)``
+        drops the executor's ``_processes`` reference.
+        """
+        if self._executor is None:
+            return
+        workers = dict(getattr(self._executor, "_processes", None) or {})
+        self._executor.shutdown(wait=wait, cancel_futures=cancel_futures)
+        if terminate:
+            for proc in workers.values():
+                proc.terminate()
+        self._executor = None
+
+
 @dataclass(frozen=True)
 class Task:
     """One produce-fn invocation: a spec plus parameter overrides."""
@@ -160,9 +207,7 @@ def run_tasks(
 
 
 def _run_pool(tasks, results, misses, jobs, timeout_s, fp, cache):
-    pool = concurrent.futures.ProcessPoolExecutor(
-        max_workers=min(jobs, len(misses))
-    )
+    pool = WorkerPool(min(jobs, len(misses)))
     timed_out = False
     try:
         futures = {
@@ -199,18 +244,11 @@ def _run_pool(tasks, results, misses, jobs, timeout_s, fp, cache):
                 continue
             _absorb(results[i], tasks[i], outcome, fp, cache)
     finally:
-        # Snapshot the worker handles first: shutdown(wait=False) drops
-        # the executor's _processes reference.
-        workers = dict(getattr(pool, "_processes", None) or {})
-        pool.shutdown(wait=not timed_out, cancel_futures=True)
-        if timed_out:
-            # Every future is resolved or cancelled by now, so any
-            # worker still busy is grinding a timed-out task.  Kill it:
-            # ProcessPoolExecutor cannot cancel a running task, and its
-            # non-daemon workers would otherwise be joined at
-            # interpreter exit, hanging the CLI on a stuck produce-fn.
-            for proc in workers.values():
-                proc.terminate()
+        # Every future is resolved or cancelled by now, so any worker
+        # still busy is grinding a timed-out task — terminate it rather
+        # than joining at interpreter exit.
+        pool.shutdown(wait=not timed_out, cancel_futures=True,
+                      terminate=timed_out)
 
 
 def _absorb(result: TaskResult, task: Task, outcome, fp, cache):

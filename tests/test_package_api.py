@@ -12,6 +12,41 @@ def test_public_api_importable():
         assert hasattr(repro, name), name
 
 
+def test_api_facade_surface_is_pinned():
+    """``repro.api`` is the supported surface; its exports are frozen.
+
+    Growing the list is fine (update here); renaming or removing an
+    entry is a breaking change and needs a deprecation shim first.
+    """
+    from repro import api
+
+    assert api.__all__ == [
+        "GroupSummary",
+        "MIB",
+        "ScheduleRequest",
+        "ScheduleResult",
+        "objectives",
+        "policies",
+        "price",
+        "request_fingerprint",
+        "sweep",
+    ]
+    for name in api.__all__:
+        assert hasattr(api, name), name
+    assert "api" in repro.__all__
+
+
+def test_api_facade_quick_start():
+    """The module docstring's quick-start works as written."""
+    from repro import api
+
+    res = api.price("toy_chain", "mbs-auto", buffer_bytes=api.MIB,
+                    objective="energy")
+    assert res.traffic_bytes > 0
+    assert res.step_time_s > 0
+    assert res.step_energy_j > 0
+
+
 def test_top_level_workflow():
     """The README's four-liner works through the top-level namespace."""
     from repro.zoo import toy_chain

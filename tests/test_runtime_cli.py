@@ -118,6 +118,68 @@ class TestExitCodes:
         assert main(["schedule", "resnet5"]) == 2
         assert "unknown network" in capsys.readouterr().err
 
+    def test_schedule_json_emits_wire_object(self, capsys):
+        import json
+
+        from repro import api
+
+        assert main(["schedule", "toy_chain", "mbs-auto", "1",
+                     "--json"]) == 0
+        wire = json.loads(capsys.readouterr().out)
+        assert wire == api.price("toy_chain", "mbs-auto",
+                                 buffer_bytes=2**20).to_wire()
+
+    def test_schedule_graph_file(self, capsys, tmp_path):
+        from repro.graph.serialize import dumps_network
+        from repro.zoo import build
+
+        path = tmp_path / "net.json"
+        path.write_text(dumps_network(build("toy_residual")))
+        assert main(["schedule", "--graph", str(path), "mbs2", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mbs2 schedule for toy_residual" in out
+
+    def test_schedule_graph_same_cost_as_zoo_name(self, capsys, tmp_path):
+        import json
+
+        from repro.graph.serialize import dumps_network
+        from repro.zoo import build
+
+        path = tmp_path / "net.json"
+        path.write_text(dumps_network(build("toy_inception")))
+        assert main(["schedule", "--graph", str(path), "mbs-auto", "1",
+                     "--json"]) == 0
+        by_graph = json.loads(capsys.readouterr().out)
+        assert main(["schedule", "toy_inception", "mbs-auto", "1",
+                     "--json"]) == 0
+        by_name = json.loads(capsys.readouterr().out)
+        assert by_graph == by_name
+
+    def test_schedule_graph_malformed_is_exit_1(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 1')
+        assert main(["schedule", "--graph", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_schedule_graph_schema_violation_is_exit_1(
+            self, capsys, tmp_path):
+        import json as jsonlib
+
+        from repro.graph.serialize import network_to_dict
+        from repro.zoo import build
+
+        wire = network_to_dict(build("toy_chain"))
+        wire["blocks"][0]["branches"][0]["layers"][0]["kind"] = "lstm"
+        path = tmp_path / "bad.json"
+        path.write_text(jsonlib.dumps(wire))
+        assert main(["schedule", "--graph", str(path)]) == 1
+        assert "unknown layer kind" in capsys.readouterr().err
+
+    def test_schedule_graph_missing_file_is_exit_1(self, capsys, tmp_path):
+        assert main(["schedule", "--graph",
+                     str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
     def test_sweep_schedule_command(self, capsys):
         assert main(["sweep-schedule", "toy_inception", "mbs-auto",
                      "--buffers", "0.1,0.5,1"]) == 0

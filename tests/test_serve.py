@@ -1,0 +1,458 @@
+"""Scheduling-as-a-service: engine semantics + HTTP integration.
+
+The engine tests inject counting pricers (``workers=0`` runs them on
+the default thread executor, in-process) so dedup/batching can be
+asserted as *exact execution counts*, not timings.  The HTTP tests
+drive a real ``asyncio.start_server`` socket with stdlib
+``http.client`` and check the responses are bit-identical to
+:func:`repro.api.price`.
+"""
+
+import asyncio
+import http.client
+import json
+import time
+
+import pytest
+
+from repro import api
+from repro.graph.serialize import network_to_dict
+from repro.runtime.cache import ResultCache
+from repro.serve import ScheduleEngine, Server
+from repro.serve.engine import price_batch_wire, price_wire
+from repro.types import KIB, MIB
+from repro.zoo import build
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _wire(network="toy_chain", **over):
+    wire = {"schema": 1, "network": network, "policy": "mbs-auto",
+            "buffer_bytes": 64 * KIB, "objective": "traffic"}
+    wire.update(over)
+    return wire
+
+
+# ---------------------------------------------------------------------------
+# engine semantics (in-process, counting stubs)
+# ---------------------------------------------------------------------------
+
+class TestDedup:
+    def test_concurrent_identical_requests_execute_dp_exactly_once(self):
+        calls = []
+
+        def counting_pricer(wire):
+            calls.append(wire)
+            time.sleep(0.05)  # long enough for every waiter to pile up
+            return price_wire(wire)
+
+        async def go():
+            eng = ScheduleEngine(workers=0, batch_window_s=0.005,
+                                 pricer=counting_pricer)
+            try:
+                return await asyncio.gather(
+                    *[eng.submit(_wire()) for _ in range(8)])
+            finally:
+                await eng.aclose()
+
+        outs = run(go())
+        assert len(calls) == 1, "identical in-flight queries must share one DP"
+        results = [r for r, _ in outs]
+        assert all(r == results[0] for r in results)
+        assert sum(1 for _, m in outs if m["deduped"]) == 7
+
+    def test_different_requests_do_not_dedup(self):
+        calls = []
+
+        def counting_pricer(wire):
+            calls.append(wire)
+            return price_wire(wire)
+
+        async def go():
+            eng = ScheduleEngine(workers=0, batch_window_s=0.005,
+                                 pricer=counting_pricer)
+            try:
+                await asyncio.gather(
+                    eng.submit(_wire("toy_chain")),
+                    eng.submit(_wire("toy_residual")))
+            finally:
+                await eng.aclose()
+
+        run(go())
+        assert len(calls) == 2
+
+    def test_stats_count_dedup(self):
+        async def go():
+            eng = ScheduleEngine(workers=0, batch_window_s=0.005)
+            try:
+                await asyncio.gather(*[eng.submit(_wire())
+                                       for _ in range(3)])
+                return eng.stats
+            finally:
+                await eng.aclose()
+
+        stats = run(go())
+        assert stats.requests == 3
+        assert stats.executions == 1
+        assert stats.dedup_hits == 2
+
+
+class TestBatching:
+    def test_buffer_sweep_rides_one_batch_dispatch(self):
+        batches, singles = [], []
+
+        def batch_pricer(wires):
+            batches.append(len(wires))
+            return price_batch_wire(wires)
+
+        def single_pricer(wire):
+            singles.append(1)
+            return price_wire(wire)
+
+        buffers = (64 * KIB, 256 * KIB, MIB)
+
+        async def go():
+            eng = ScheduleEngine(workers=0, batch_window_s=0.02,
+                                 pricer=single_pricer,
+                                 batch_pricer=batch_pricer)
+            try:
+                return await asyncio.gather(
+                    *[eng.submit(_wire(buffer_bytes=b)) for b in buffers])
+            finally:
+                await eng.aclose()
+
+        outs = run(go())
+        assert batches == [3] and not singles
+        for b, (result, meta) in zip(buffers, outs):
+            expect = api.price("toy_chain", "mbs-auto",
+                               buffer_bytes=b).to_wire()
+            assert result == expect, "batched price must be bit-identical"
+
+    def test_mixed_networks_split_into_groups(self):
+        batches, singles = [], []
+
+        def batch_pricer(wires):
+            batches.append(len(wires))
+            return price_batch_wire(wires)
+
+        def single_pricer(wire):
+            singles.append(1)
+            return price_wire(wire)
+
+        async def go():
+            eng = ScheduleEngine(workers=0, batch_window_s=0.02,
+                                 pricer=single_pricer,
+                                 batch_pricer=batch_pricer)
+            try:
+                await asyncio.gather(
+                    eng.submit(_wire("toy_chain", buffer_bytes=64 * KIB)),
+                    eng.submit(_wire("toy_chain", buffer_bytes=MIB)),
+                    eng.submit(_wire("toy_residual")))
+            finally:
+                await eng.aclose()
+
+        run(go())
+        assert batches == [2]   # the two toy_chain buffer points
+        assert singles == [1]   # toy_residual rides alone
+
+
+class TestDegradation:
+    def test_timeout_returns_degraded_greedy(self):
+        def slow_pricer(wire):
+            time.sleep(1.0)
+            return price_wire(wire)
+
+        async def go():
+            eng = ScheduleEngine(workers=0, batch_window_s=0.001,
+                                 timeout_s=0.05, pricer=slow_pricer)
+            try:
+                return await eng.submit(_wire(objective="latency"))
+            finally:
+                await eng.aclose()
+
+        result, meta = run(go())
+        assert meta["degraded"] is True
+        assert result["degraded"] is True
+        assert result["policy"] == "mbs2"  # the greedy fallback
+        exact = api.price("toy_chain", "mbs2", buffer_bytes=64 * KIB)
+        assert result["traffic_bytes"] == exact.traffic_bytes
+
+    def test_saturated_queue_sheds_load(self):
+        async def go():
+            eng = ScheduleEngine(workers=0, batch_window_s=10.0,
+                                 max_pending=0)
+            try:
+                return await eng.submit(_wire())
+            finally:
+                await eng.aclose()
+
+        result, meta = run(go())
+        assert meta["degraded"] is True and result["degraded"] is True
+
+    def test_pricer_exception_propagates(self):
+        def broken(wire):
+            raise RuntimeError("boom")
+
+        async def go():
+            eng = ScheduleEngine(workers=0, batch_window_s=0.001,
+                                 pricer=broken)
+            try:
+                with pytest.raises(RuntimeError, match="boom"):
+                    await eng.submit(_wire())
+                return eng.stats.errors
+            finally:
+                await eng.aclose()
+
+        assert run(go()) == 1
+
+
+class TestEngineCache:
+    def test_hit_within_and_across_engine_instances(self, tmp_path):
+        cache = ResultCache(tmp_path / "serve-cache")
+
+        async def first():
+            eng = ScheduleEngine(workers=0, batch_window_s=0.001,
+                                 cache=cache)
+            try:
+                r1, m1 = await eng.submit(_wire())
+                r2, m2 = await eng.submit(_wire())
+                return r1, m1, r2, m2
+            finally:
+                await eng.aclose()
+
+        r1, m1, r2, m2 = run(first())
+        assert m1["cached"] is False and m2["cached"] is True
+        assert r2 == r1
+
+        async def second():
+            eng = ScheduleEngine(workers=0,
+                                 cache=ResultCache(tmp_path / "serve-cache"))
+            try:
+                r3, m3 = await eng.submit(_wire())
+                return r3, m3, eng.stats.executions
+            finally:
+                await eng.aclose()
+
+        r3, m3, executions = run(second())
+        assert m3["cached"] is True and r3 == r1
+        assert executions == 0, "a warm cache must not re-run the DP"
+
+    def test_stale_code_fingerprint_misses(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "serve-cache")
+
+        async def go(eng):
+            try:
+                return await eng.submit(_wire())
+            finally:
+                await eng.aclose()
+
+        run(go(ScheduleEngine(workers=0, batch_window_s=0.001,
+                              cache=cache)))
+        monkeypatch.setattr("repro.serve.engine.code_fingerprint",
+                            lambda: "different-build")
+        eng = ScheduleEngine(workers=0, batch_window_s=0.001, cache=cache)
+        _, meta = run(go(eng))
+        assert meta["cached"] is False
+
+    def test_bad_request_rejected_before_any_work(self):
+        async def go():
+            eng = ScheduleEngine(workers=0)
+            try:
+                with pytest.raises(ValueError, match="unknown policy"):
+                    await eng.submit(_wire(policy="mbs9"))
+                return eng.stats.executions
+            finally:
+                await eng.aclose()
+
+        assert run(go()) == 0
+
+
+# ---------------------------------------------------------------------------
+# HTTP integration (real sockets)
+# ---------------------------------------------------------------------------
+
+def _get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read().decode())
+    finally:
+        conn.close()
+
+
+def _post(port, body, path="/v1/schedule"):
+    text = body if isinstance(body, str) else json.dumps(body)
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("POST", path, body=text,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read().decode())
+    finally:
+        conn.close()
+
+
+async def _with_server(fn, **engine_kwargs):
+    """Start a server on an ephemeral port, run ``fn(port)`` off-loop."""
+    engine_kwargs.setdefault("workers", 0)
+    engine_kwargs.setdefault("batch_window_s", 0.002)
+    server = Server(ScheduleEngine(**engine_kwargs))
+    await server.start()
+    loop = asyncio.get_running_loop()
+    try:
+        return await loop.run_in_executor(None, fn, server.port)
+    finally:
+        await server.aclose()
+
+
+class TestHttp:
+    def test_healthz(self):
+        status, body = run(_with_server(lambda p: _get(p, "/healthz")))
+        assert (status, body) == (200, {"ok": True})
+
+    def test_policies_and_objectives(self):
+        def fn(port):
+            return _get(port, "/v1/policies"), _get(port, "/v1/objectives")
+
+        (st_p, pol), (st_o, obj) = run(_with_server(fn))
+        assert st_p == st_o == 200
+        assert tuple(pol["policies"]) == api.policies()
+        assert tuple(obj["objectives"]) == api.objectives()
+
+    def test_schedule_response_bit_identical_to_facade(self):
+        cases = [
+            _wire(net, buffer_bytes=buf, objective=obj)
+            for net in ("toy_chain", "toy_residual", "toy_inception")
+            for buf in (64 * KIB, MIB)
+            for obj in api.objectives()
+        ]
+
+        def fn(port):
+            return [_post(port, c) for c in cases]
+
+        responses = run(_with_server(fn))
+        for case, (status, body) in zip(cases, responses):
+            assert status == 200, body
+            expect = api.price(api.ScheduleRequest.from_wire(case))
+            assert body["result"] == expect.to_wire(), case
+            assert body["schema"] == 1
+            assert body["degraded"] is False
+
+    def test_inline_graph_request(self):
+        graph = network_to_dict(build("toy_residual"))
+        wire = {"schema": 1, "graph": graph, "policy": "mbs-auto",
+                "buffer_bytes": 64 * KIB}
+
+        status, body = run(_with_server(lambda p: _post(p, wire)))
+        assert status == 200
+        expect = api.price("toy_residual", "mbs-auto",
+                           buffer_bytes=64 * KIB).to_wire()
+        assert body["result"] == expect
+
+    def test_cache_hit_across_connections(self, tmp_path):
+        cache = ResultCache(tmp_path / "serve-cache")
+
+        def fn(port):
+            return _post(port, _wire()), _post(port, _wire())
+
+        (s1, b1), (s2, b2) = run(_with_server(fn, cache=cache))
+        assert s1 == s2 == 200
+        assert b1["cached"] is False
+        assert b2["cached"] is True, "second connection must hit the cache"
+        assert b2["result"] == b1["result"]
+
+    def test_timeout_degrades_over_http(self):
+        def slow_pricer(wire):
+            time.sleep(1.0)
+            return price_wire(wire)
+
+        status, body = run(_with_server(
+            lambda p: _post(p, _wire()),
+            timeout_s=0.05, pricer=slow_pricer))
+        assert status == 200
+        assert body["degraded"] is True
+        assert body["result"]["policy"] == "mbs2"
+
+    def test_malformed_json_is_400(self):
+        status, body = run(_with_server(lambda p: _post(p, "{nope")))
+        assert status == 400
+        assert "not valid JSON" in body["error"]
+
+    def test_unknown_network_is_400(self):
+        status, body = run(_with_server(
+            lambda p: _post(p, _wire("resnet5"))))
+        assert status == 400
+        assert "unknown network" in body["error"]
+
+    def test_schema_violation_is_400(self):
+        status, body = run(_with_server(
+            lambda p: _post(p, {"schema": 1, "network": "toy_chain",
+                                "buffer_bytes": -1})))
+        assert status == 400
+        assert "buffer_bytes" in body["error"]
+
+    def test_non_object_body_is_400(self):
+        status, body = run(_with_server(lambda p: _post(p, "[1, 2]")))
+        assert status == 400
+
+    def test_unknown_path_is_404(self):
+        status, _ = run(_with_server(lambda p: _get(p, "/v2/schedule")))
+        assert status == 404
+
+    def test_wrong_method_is_405(self):
+        def fn(port):
+            return _get(port, "/v1/schedule"), _post(port, {}, "/healthz")
+
+        (s1, _), (s2, _) = run(_with_server(fn))
+        assert s1 == 405 and s2 == 405
+
+    def test_stats_endpoint(self, tmp_path):
+        def fn(port):
+            _post(port, _wire())
+            _post(port, _wire())
+            return _get(port, "/v1/stats")
+
+        status, stats = run(_with_server(
+            fn, cache=ResultCache(tmp_path / "serve-cache")))
+        assert status == 200
+        assert stats["requests"] == 2
+        assert stats["executions"] == 1
+        assert stats["cache_hits"] == 1  # the second, sequential request
+
+    def test_keep_alive_reuses_connection(self):
+        def fn(port):
+            conn = http.client.HTTPConnection("127.0.0.1", port,
+                                              timeout=30)
+            try:
+                out = []
+                for _ in range(3):
+                    conn.request("POST", "/v1/schedule",
+                                 body=json.dumps(_wire()),
+                                 headers={"Content-Type":
+                                          "application/json"})
+                    resp = conn.getresponse()
+                    out.append((resp.status,
+                                json.loads(resp.read().decode())))
+                return out
+            finally:
+                conn.close()
+
+        for status, body in run(_with_server(fn)):
+            assert status == 200 and "result" in body
+
+
+class TestCliServe:
+    def test_bad_flags_are_usage_errors(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["serve", "--timeout", "0"]) == 2
+        assert main(["serve", "--workers", "-1"]) == 2
+        assert main(["serve", "--bogus"]) == 2
+
+    def test_serve_in_subcommands(self):
+        from repro.experiments.runner import SUBCOMMANDS
+
+        assert "serve" in SUBCOMMANDS
