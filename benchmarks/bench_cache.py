@@ -1,0 +1,91 @@
+"""Benchmarks for dependency-scoped cache fingerprints.
+
+The headline measurement is *warm-hit retention*: touch one leaf
+experiment driver in a private copy of the package tree, re-fingerprint
+every registered spec, and assert (inside the timed region's setup)
+that exactly one spec went cold.  Under the old monolithic
+``code_fingerprint`` the same edit invalidated all of them, so this
+benchmark doubles as the regression lock for the per-spec scoping.
+
+The micro-benchmarks time the analyzer itself — cold closure walks and
+the memoized fingerprint path that ``task_key`` hits on every call.
+"""
+import shutil
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.runtime import (
+    ImportGraph,
+    all_specs,
+    module_fingerprint,
+    reset_fingerprint_caches,
+)
+
+
+@pytest.fixture(scope="module")
+def spec_modules():
+    import repro.experiments  # noqa: F401  (registers the specs)
+
+    return {spec.name: spec.module for spec in all_specs()}
+
+
+@pytest.fixture(scope="module")
+def repro_copy(tmp_path_factory):
+    src = Path(repro.__file__).resolve().parent
+    dst = tmp_path_factory.mktemp("pkgcopy") / "repro"
+    shutil.copytree(src, dst,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    return dst
+
+
+def test_bench_import_graph_closure_cold(benchmark, spec_modules):
+    """Full cold walk: parse + resolve the whole spec closure."""
+    root = Path(repro.__file__).resolve().parent
+
+    def cold():
+        return ImportGraph(root).closure("repro.experiments.energy_sweep")
+
+    closure = benchmark(cold)
+    assert "repro.experiments.energy_sweep" in closure
+
+
+def test_bench_spec_fingerprint_cold(benchmark, spec_modules):
+    """Uncached per-spec fingerprint — the first task_key of a run."""
+
+    def cold():
+        reset_fingerprint_caches()
+        return module_fingerprint(spec_modules["energy_sweep"])
+
+    assert len(benchmark(cold)) == 16
+
+
+def test_bench_spec_fingerprint_warm(benchmark, spec_modules):
+    """Memoized path — what every task_key after the first pays."""
+    module_fingerprint(spec_modules["energy_sweep"])
+    fp = benchmark(module_fingerprint, spec_modules["energy_sweep"])
+    assert len(fp) == 16
+
+
+def test_bench_warm_hit_retention_after_leaf_touch(
+        benchmark, repro_copy, spec_modules):
+    """Re-fingerprint every spec after a leaf edit; only the touched
+    driver's spec may change — the rest of the cache stays warm."""
+    before = {
+        name: ImportGraph(repro_copy).fingerprint(mod)
+        for name, mod in spec_modules.items()
+    }
+    target = repro_copy / "experiments" / "energy_sweep.py"
+    target.write_text(target.read_text() + "\n# touched\n")
+
+    def refingerprint_all():
+        graph = ImportGraph(repro_copy)
+        return {name: graph.fingerprint(mod)
+                for name, mod in spec_modules.items()}
+
+    after = benchmark(refingerprint_all)
+    changed = {name for name in before if after[name] != before[name]}
+    assert changed == {"energy_sweep"}, (
+        "leaf edit must cold-start exactly one spec"
+    )

@@ -12,6 +12,8 @@ Subcommands::
     mbs-repro all [--jobs N] [--only a,b] [--full] [--out DIR]
     mbs-repro all --render-from-cache [--only a,b] [--out DIR]
     mbs-repro sweep <artifact> [--set axis=v1,v2,... ...] [--jobs N]
+                    [--shard I/N] [--resume]
+    mbs-repro merge DIR [DIR ...] --out DIR [--check REF]
     mbs-repro bench [--only a,b] [--json PATH] [--profile]
     mbs-repro schedule (<network> | --graph FILE.json) [policy]
                        [buffer MiB] [--objective OBJ] [--json]
@@ -19,7 +21,7 @@ Subcommands::
                              [--objective OBJ]
     mbs-repro serve [--host H] [--port P] [--workers N] [--timeout S]
     mbs-repro export [results.json] [--full] [--jobs N]
-    mbs-repro fingerprint
+    mbs-repro fingerprint [--spec NAME]
     mbs-repro list
 
 ``all --render-from-cache`` replays the stored manifests without any
@@ -33,11 +35,22 @@ Common flags: ``--jobs N`` worker processes (default 1 = serial),
 (default ``.mbs-cache`` or ``$MBS_REPRO_CACHE``), ``--out DIR`` copy
 result manifests to DIR, ``--timeout S`` per-task budget.
 
-``fingerprint`` prints the package code fingerprint the result cache is
-keyed on — CI uses it as the ``actions/cache`` key for ``.mbs-cache``
-so unchanged code replays cached manifests across pushes.  ``schedule
---objective latency|latency+traffic|energy`` builds the adaptive
-schedule that minimizes simulated step time / time-then-bytes
+``sweep --shard I/N`` runs the I-th of N deterministic partitions of
+the grid (point j lands on shard ``j mod N``), so N machines can split
+one sweep; ``--resume`` skips points whose manifest already exists
+before dispatching anything, making an interrupted sweep cheap to
+restart.  ``merge`` unions the ``--out`` manifest dumps of several
+shard runs into one directory, failing on any byte-level conflict;
+``--check REF`` additionally verifies the union is byte-identical to a
+reference dump (e.g. a single-process run) — see ``docs/caching.md``
+for the full shard/resume/merge workflow.
+
+``fingerprint`` prints the package-wide code fingerprint (CI uses it
+in the ``actions/cache`` key for ``.mbs-cache``); ``fingerprint --spec
+NAME`` prints the dependency-scoped fingerprint that spec's cache keys
+actually use — the digest of its producing module's import closure.
+``schedule --objective latency|latency+traffic|energy`` builds the
+adaptive schedule that minimizes simulated step time / time-then-bytes
 lexicographic / simulated step energy instead of DRAM bytes.
 
 ``schedule`` and ``sweep-schedule`` are thin shells over the
@@ -79,7 +92,7 @@ from repro.runtime import (
     task_key,
 )
 
-SUBCOMMANDS = ("run", "all", "sweep", "bench", "schedule",
+SUBCOMMANDS = ("run", "all", "sweep", "merge", "bench", "schedule",
                "sweep-schedule", "serve", "export", "fingerprint", "list")
 
 
@@ -233,7 +246,8 @@ def _serve_command(rest: list[str]) -> int:
         prog="mbs-repro serve", add_help=False,
         usage="mbs-repro serve [--host H] [--port P] [--workers N] "
               "[--timeout S] [--max-pending N] [--cache-dir DIR] "
-              "[--no-cache]",
+              "[--no-cache] [--cache-max-entries N] "
+              "[--cache-max-bytes B]",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8787)
@@ -242,13 +256,18 @@ def _serve_command(rest: list[str]) -> int:
     parser.add_argument("--max-pending", type=int, default=64)
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--no-cache", action="store_true")
+    # Bounded by default: a long-lived server must not grow its result
+    # store without limit.  0 disables a bound (unbounded).
+    parser.add_argument("--cache-max-entries", type=int, default=4096)
+    parser.add_argument("--cache-max-bytes", type=int, default=0)
     try:
         args = parser.parse_args(rest)
     except SystemExit:
         return 2
-    if args.workers < 0 or args.timeout <= 0 or args.max_pending < 0:
-        print("serve: --workers/--max-pending must be >= 0 and "
-              "--timeout > 0", file=sys.stderr)
+    if (args.workers < 0 or args.timeout <= 0 or args.max_pending < 0
+            or args.cache_max_entries < 0 or args.cache_max_bytes < 0):
+        print("serve: --workers/--max-pending/--cache-max-* must be "
+              ">= 0 and --timeout > 0", file=sys.stderr)
         return 2
     cache = None if args.no_cache else (
         ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
@@ -258,6 +277,8 @@ def _serve_command(rest: list[str]) -> int:
             host=args.host, port=args.port, workers=args.workers,
             timeout_s=args.timeout, max_pending=args.max_pending,
             cache=cache,
+            cache_max_entries=args.cache_max_entries or None,
+            cache_max_bytes=args.cache_max_bytes or None,
         ))
     except KeyboardInterrupt:
         print("\nserve: interrupted, shutting down")
@@ -332,7 +353,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    metavar="axis=v1,v2",
                    help="override one sweep axis (comma-separated values)")
     p.add_argument("--quick", action="store_true")
+    p.add_argument("--shard", metavar="I/N", default=None,
+                   help="run only the I-th of N deterministic grid "
+                        "partitions (grid index mod N == I)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip points whose manifest already exists in "
+                        "the cache (presence check, nothing reloaded)")
     _add_engine_flags(p)
+
+    p = sub.add_parser(
+        "merge",
+        help="union shard --out manifest dumps into one directory",
+    )
+    p.add_argument("dirs", nargs="+", metavar="DIR",
+                   help="manifest dump directories (sweep --out)")
+    p.add_argument("--out", metavar="DIR", required=True,
+                   help="directory receiving the merged manifests")
+    p.add_argument("--check", metavar="REF", default=None,
+                   help="verify the merged set is byte-identical to "
+                        "this reference dump (non-zero exit otherwise)")
 
     p = sub.add_parser("bench", help="time each experiment produce-fn")
     p.add_argument("--only", metavar="a,b", default=None)
@@ -355,11 +394,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", metavar="DIR", default=None,
                    help="cache root (default: .mbs-cache or $MBS_REPRO_CACHE)")
 
-    sub.add_parser(
+    p = sub.add_parser(
         "fingerprint",
-        help="print the package code fingerprint the result cache is "
-             "keyed on (CI cache key for .mbs-cache)",
+        help="print the package code fingerprint (CI cache key for "
+             ".mbs-cache), or one spec's dependency-scoped fingerprint",
     )
+    p.add_argument("--spec", metavar="NAME", default=None,
+                   help="print NAME's per-spec fingerprint (the import-"
+                        "closure digest its cache keys use) instead of "
+                        "the package-wide digest")
 
     sub.add_parser("list", help="list registered experiments")
     return parser
@@ -449,7 +492,8 @@ def _render_from_cache(specs, args) -> int:
     """Replay cached manifests; optionally diff them against ``--out``.
 
     Never recomputes: a spec without a stored manifest for the current
-    parameters + code fingerprint is reported as ``missing``.  With
+    parameters + dependency-scoped fingerprint is reported as
+    ``missing``.  With
     ``--out DIR`` each manifest's canonical bytes are compared against
     ``DIR/<spec>.json`` (``match`` / ``differs`` / ``no-file``) instead
     of overwriting — the staleness check behind EXPERIMENTS.md
@@ -459,13 +503,12 @@ def _render_from_cache(specs, args) -> int:
     from repro.experiments.tables import format_table
 
     cache = _make_cache(args)
-    fp = code_fingerprint()
     out_dir = Path(args.out) if args.out else None
     rows = []
     ok = True
     for spec in specs:
         params = Task(spec, {}, quick=not args.full).params()
-        key = task_key(spec, params, fingerprint=fp)
+        key = task_key(spec, params)
         manifest = cache.lookup(spec.name, key)
         if manifest is None:
             rows.append([spec.name, "missing", key, "-"])
@@ -523,8 +566,22 @@ def _cmd_all(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _parse_shard(text: str) -> tuple[int, int]:
+    """``--shard I/N`` → (index, count); raises SystemExit on nonsense."""
+    index, sep, count = text.partition("/")
+    try:
+        i, n = int(index), int(count)
+    except ValueError:
+        i, n = -1, 0
+    if not sep or n < 1 or not (0 <= i < n):
+        raise SystemExit(
+            f"--shard expects I/N with 0 <= I < N, got {text!r}"
+        )
+    return i, n
+
+
 def _cmd_sweep(args) -> int:
-    from repro.runtime import expand_grid
+    from repro.runtime import expand_grid, task_key
 
     try:
         spec = get_spec(args.artifact)
@@ -534,6 +591,7 @@ def _cmd_sweep(args) -> int:
     axes = dict(spec.sweep)
     try:
         axes.update(_parse_sets(args.set, multi=True))
+        shard = _parse_shard(args.shard) if args.shard else None
     except SystemExit as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -551,26 +609,119 @@ def _cmd_sweep(args) -> int:
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
-    print(f"sweep {spec.name}: {len(tasks)} point(s) over "
-          f"{', '.join(axes)}  (jobs={args.jobs})")
+    total = len(tasks)
+    if shard is not None:
+        # Deterministic round-robin partition over the grid enumeration
+        # order: point j belongs to shard j mod N.  Every shard sees the
+        # same grid, so N machines each running one shard cover it all.
+        index, count = shard
+        tasks = tasks[index::count]
+    cache = _make_cache(args)
+    skipped: list[Task] = []
+    if args.resume:
+        # Presence check only — nothing is reloaded or recomputed, so a
+        # restarted sweep pays one stat() per already-finished point.
+        pending = []
+        for t in tasks:
+            key = task_key(t.spec, t.params())
+            if cache.path(t.spec.name, key).is_file():
+                skipped.append(t)
+            else:
+                pending.append(t)
+        tasks = pending
+    shard_note = (f"  shard {shard[0]}/{shard[1]}" if shard else "")
+    print(f"sweep {spec.name}: {len(tasks)} of {total} point(s) over "
+          f"{', '.join(axes)}  (jobs={args.jobs}){shard_note}"
+          + (f"  resume-skipped={len(skipped)}" if args.resume else ""))
     results = run_tasks(
-        tasks, jobs=args.jobs, cache=_make_cache(args),
+        tasks, jobs=args.jobs, cache=cache,
         use_cache=not args.no_cache, timeout_s=args.timeout,
     )
     if args.out:
         _write_out(results, args.out, per_spec_names=False)
     from repro.experiments.tables import format_table
 
+    def point_label(t: Task) -> str:
+        return " ".join(
+            f"{k}={v}" for k, v in sorted(t.overrides.items())
+        ) or "(defaults)"
+
     rows = [
-        [" ".join(f"{k}={v}" for k, v in
-                  sorted(t.overrides.items())) or "(defaults)",
-         r.status, f"{r.seconds:6.2f}", r.key]
+        [point_label(t), r.status, f"{r.seconds:6.2f}", r.key]
         for t, r in zip(tasks, results)
+    ] + [
+        [point_label(t), "skipped", f"{0.0:6.2f}",
+         task_key(t.spec, t.params())]
+        for t in skipped
     ]
     print(format_table(["point", "status", "secs", "key"], rows,
                        title=f"sweep {spec.name}"))
     _print_failures(results)
     return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_merge(args) -> int:
+    """Union shard manifest dumps; verify byte-level agreement.
+
+    Manifests are canonical, timestamp-free JSON, so the same point
+    produced by any shard (or any worker count) must be byte-identical
+    — a name collision with different bytes means nondeterminism or
+    mixed code versions, and fails the merge.  ``--check REF`` then
+    compares the merged set against a reference dump (typically a
+    single-process run) name-by-name and byte-by-byte.
+    """
+    merged: dict[str, bytes] = {}
+    sources: dict[str, str] = {}
+    duplicates = 0
+    for d in args.dirs:
+        root = Path(d)
+        if not root.is_dir():
+            print(f"merge: not a directory: {d}", file=sys.stderr)
+            return 2
+        for path in sorted(root.glob("*.json")):
+            data = path.read_bytes()
+            if path.name in merged:
+                duplicates += 1
+                if merged[path.name] != data:
+                    print(f"merge: conflict on {path.name}: "
+                          f"{sources[path.name]} and {d} disagree "
+                          f"byte-for-byte", file=sys.stderr)
+                    return 1
+                continue
+            merged[path.name] = data
+            sources[path.name] = d
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, data in merged.items():
+        (out / name).write_bytes(data)
+    print(f"merged {len(merged)} manifest(s) from {len(args.dirs)} "
+          f"dump(s) into {out}  ({duplicates} duplicate(s) verified "
+          f"identical)")
+    if args.check is None:
+        return 0
+    ref = Path(args.check)
+    ref_names = {p.name for p in ref.glob("*.json")} if ref.is_dir() else None
+    if ref_names is None:
+        print(f"merge: --check is not a directory: {args.check}",
+              file=sys.stderr)
+        return 2
+    missing = sorted(ref_names - merged.keys())
+    extra = sorted(merged.keys() - ref_names)
+    differ = sorted(
+        name for name in merged.keys() & ref_names
+        if (ref / name).read_bytes() != merged[name]
+    )
+    if not (missing or extra or differ):
+        print(f"check vs {ref}: {len(ref_names)} manifest(s) "
+              f"byte-identical")
+        return 0
+    for name in missing:
+        print(f"check: missing from merge: {name}", file=sys.stderr)
+    for name in extra:
+        print(f"check: not in reference: {name}", file=sys.stderr)
+    for name in differ:
+        print(f"check: bytes differ: {name}", file=sys.stderr)
+    return 1
 
 
 def _cmd_bench(args) -> int:
@@ -656,7 +807,17 @@ def _cmd_export(args) -> int:
 
 
 def _cmd_fingerprint(args) -> int:
-    print(code_fingerprint())
+    if args.spec is None:
+        print(code_fingerprint())
+        return 0
+    from repro.runtime import spec_fingerprint
+
+    try:
+        spec = get_spec(args.spec)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(spec_fingerprint(spec))
     return 0
 
 
@@ -706,6 +867,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "all": _cmd_all,
         "sweep": _cmd_sweep,
+        "merge": _cmd_merge,
         "bench": _cmd_bench,
         "export": _cmd_export,
         "fingerprint": _cmd_fingerprint,

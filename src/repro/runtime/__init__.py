@@ -8,8 +8,10 @@ schedulable units:
   modules in :mod:`repro.experiments` register into.
 - :mod:`repro.runtime.serialize` — canonical JSON conversion for
   artifacts and manifests.
+- :mod:`repro.runtime.deps` — static import-closure analyzer behind the
+  dependency-scoped cache fingerprints.
 - :mod:`repro.runtime.cache` — content-addressed result cache keyed on
-  spec name + parameters + code fingerprint.
+  spec name + parameters + the spec's dependency-closure fingerprint.
 - :mod:`repro.runtime.pool` — process-pool sweep engine with
   deterministic result ordering and per-task timeouts.
 
@@ -22,8 +24,12 @@ from repro.runtime.cache import (
     code_fingerprint,
     default_cache_dir,
     manifest_bytes,
+    module_fingerprint,
+    reset_fingerprint_caches,
+    spec_fingerprint,
     task_key,
 )
+from repro.runtime.deps import ImportGraph
 from repro.runtime.pool import Task, TaskResult, WorkerPool, run_tasks
 from repro.runtime.serialize import canonical_dumps, jsonify
 from repro.runtime.spec import (
@@ -37,6 +43,7 @@ from repro.runtime.spec import (
 
 __all__ = [
     "ExperimentSpec",
+    "ImportGraph",
     "ResultCache",
     "Task",
     "TaskResult",
@@ -49,8 +56,11 @@ __all__ = [
     "get_spec",
     "jsonify",
     "manifest_bytes",
+    "module_fingerprint",
     "register",
+    "reset_fingerprint_caches",
     "run_tasks",
+    "spec_fingerprint",
     "spec_names",
     "task_key",
 ]

@@ -1,11 +1,17 @@
 """Content-addressed result cache for experiment artifacts.
 
 A task's identity is ``sha256(spec name, spec version, fully resolved
-parameters, code fingerprint)``; the fingerprint hashes every ``.py``
-file of the installed :mod:`repro` package, so *any* code change
-invalidates *every* cached result (coarse, but always safe — experiment
-drivers reach deep into core/wavecore/graph and tracking per-module
-dependencies would under-invalidate).
+parameters, code fingerprint)``.  The fingerprint is *dependency
+scoped*: :func:`spec_fingerprint` hashes only the transitive import
+closure of the spec's producing module (static AST analysis via
+:class:`~repro.runtime.deps.ImportGraph` — every file the produce-fn
+can reach through ``import`` statements, and nothing else).  Editing
+one leaf experiment file therefore invalidates that spec alone; the
+other specs' manifests keep hitting.  A module the analyzer cannot
+resolve inside the :mod:`repro` package falls back to the package-wide
+:func:`code_fingerprint` (every ``.py`` under ``repro/``) — coarse,
+but never under-invalidating.  Closure semantics are documented in
+``docs/caching.md``.
 
 Manifests are single JSON files under ``<cache root>/<spec>/<key>.json``
 with deterministic byte encoding and no timestamps, so a manifest
@@ -24,6 +30,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro.runtime.deps import ImportGraph
 from repro.runtime.serialize import canonical_dumps, jsonify
 from repro.runtime.spec import ExperimentSpec
 
@@ -41,7 +48,7 @@ def default_cache_dir() -> Path:
 
 @functools.lru_cache(maxsize=1)
 def code_fingerprint() -> str:
-    """Digest of the installed ``repro`` package source."""
+    """Digest of the installed ``repro`` package source (every file)."""
     import repro
 
     root = Path(repro.__file__).resolve().parent
@@ -53,18 +60,62 @@ def code_fingerprint() -> str:
     return h.hexdigest()[:16]
 
 
+@functools.lru_cache(maxsize=1)
+def package_graph() -> ImportGraph:
+    """Import graph of the installed ``repro`` package."""
+    import repro
+
+    return ImportGraph(Path(repro.__file__).resolve().parent, "repro")
+
+
+@functools.lru_cache(maxsize=None)
+def module_fingerprint(*modules: str) -> str:
+    """Dependency-scoped digest of the given modules' import closures.
+
+    Any module the static analyzer cannot resolve inside the ``repro``
+    package (a spec defined in a test file, say) degrades the whole
+    call to the package-wide :func:`code_fingerprint` — the safe
+    over-approximation.
+    """
+    graph = package_graph()
+    if not modules or not all(graph.covers(m) for m in modules):
+        return code_fingerprint()
+    return graph.fingerprint(modules)
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> str:
+    """The fingerprint ``spec``'s cache keys are scoped to."""
+    return module_fingerprint(spec.module)
+
+
+def reset_fingerprint_caches() -> None:
+    """Forget every memoized fingerprint and parsed import graph.
+
+    Tests that edit package sources on disk (or monkeypatch the package
+    location) call this so the next fingerprint request re-reads the
+    tree instead of replaying a stale digest.
+    """
+    code_fingerprint.cache_clear()
+    module_fingerprint.cache_clear()
+    package_graph.cache_clear()
+
+
 def task_key(
     spec: ExperimentSpec,
     params: Mapping[str, Any],
     fingerprint: str | None = None,
 ) -> str:
-    """Content address of one (spec, params, code) combination."""
+    """Content address of one (spec, params, code) combination.
+
+    Without an explicit ``fingerprint`` the key is scoped to the spec's
+    dependency closure via :func:`spec_fingerprint`.
+    """
     blob = json.dumps(
         {
             "spec": spec.name,
             "version": spec.version,
             "params": jsonify(dict(params)),
-            "code": fingerprint or code_fingerprint(),
+            "code": fingerprint or spec_fingerprint(spec),
         },
         sort_keys=True,
     )

@@ -1,0 +1,175 @@
+"""Static import-closure analysis for dependency-scoped cache keys.
+
+:class:`ImportGraph` maps one on-disk package tree (no module execution,
+no imports — pure :mod:`ast` parsing) into a module-level dependency
+graph, and digests the *transitive source closure* of any module into a
+fingerprint.  The result cache keys each
+:class:`~repro.runtime.spec.ExperimentSpec` on the closure of its
+producing module, so editing one leaf experiment file invalidates that
+spec alone while every unrelated cached manifest keeps hitting.
+
+Closure semantics (documented contract, see ``docs/caching.md``):
+
+* every ``import``/``from`` statement anywhere in a module — including
+  ones nested in functions for lazy imports — contributes an edge when
+  it targets a module inside the package;
+* ``from pkg.mod import name`` depends on ``pkg.mod.name`` when that
+  resolves to a submodule file, else on ``pkg.mod`` itself;
+* edges are followed transitively; cycles are fine (visited-set walk);
+* ancestor package ``__init__.py`` files of every closure member are
+  hashed *shallowly* — their bytes are part of the digest (they execute
+  on import of any member) but their own imports are not followed.
+  This is what keeps ``repro/experiments/__init__.py``'s registration
+  imports of every sibling driver from dragging all experiments into
+  each other's closures: sibling import side effects only register
+  specs, they never change what an unrelated produce-fn computes.  A
+  module that *explicitly* imports a package does follow its
+  ``__init__`` fully.
+
+Modules outside the package root are not resolvable here; callers
+(:func:`repro.runtime.cache.module_fingerprint`) fall back to the
+package-wide digest for those — coarse, but never under-invalidating.
+"""
+from __future__ import annotations
+
+import ast
+import hashlib
+from pathlib import Path
+from typing import Iterable
+
+
+class ImportGraph:
+    """AST-level import graph of one package source tree.
+
+    ``root`` is the directory of the package itself (the one holding
+    its ``__init__.py``); ``package`` is the package's import name.
+    All module names handled here are fully qualified
+    (``repro.core.traffic``).  Parsing and closures are memoized per
+    instance; build a fresh instance to observe edited files.
+    """
+
+    def __init__(self, root: str | Path, package: str = "repro"):
+        self.root = Path(root)
+        self.package = package
+        self._direct: dict[str, frozenset[str]] = {}
+        self._closures: dict[str, frozenset[str]] = {}
+
+    # -- module name <-> file resolution -------------------------------
+
+    def module_path(self, module: str) -> Path | None:
+        """Source file of an in-package module name, or None."""
+        if module != self.package and not module.startswith(
+            self.package + "."
+        ):
+            return None
+        rel = module[len(self.package) :].lstrip(".")
+        base = self.root.joinpath(*rel.split(".")) if rel else self.root
+        if base.is_dir():
+            init = base / "__init__.py"
+            return init if init.is_file() else None
+        path = base.with_suffix(".py")
+        return path if path.is_file() else None
+
+    def covers(self, module: str) -> bool:
+        return self.module_path(module) is not None
+
+    def _is_package(self, module: str) -> bool:
+        path = self.module_path(module)
+        return path is not None and path.name == "__init__.py"
+
+    # -- edges ----------------------------------------------------------
+
+    def direct_imports(self, module: str) -> frozenset[str]:
+        """In-package modules ``module`` imports anywhere in its source."""
+        cached = self._direct.get(module)
+        if cached is not None:
+            return cached
+        path = self.module_path(module)
+        deps: set[str] = set()
+        if path is not None:
+            tree = ast.parse(path.read_bytes(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        deps.add(alias.name)
+                elif isinstance(node, ast.ImportFrom):
+                    base = self._from_base(module, node)
+                    if base is None:
+                        continue
+                    for alias in node.names:
+                        if alias.name == "*":
+                            deps.add(base)
+                            continue
+                        sub = f"{base}.{alias.name}"
+                        deps.add(sub if self.covers(sub) else base)
+        out = frozenset(d for d in deps if self.covers(d))
+        self._direct[module] = out
+        return out
+
+    def _from_base(self, module: str, node: ast.ImportFrom) -> str | None:
+        """Resolve a ``from ... import`` statement's base module name."""
+        if node.level == 0:
+            return node.module
+        # Relative import: anchor at the containing package, then climb
+        # one extra level per additional dot.
+        anchor = module.split(".")
+        if not self._is_package(module):
+            anchor = anchor[:-1]
+        climb = node.level - 1
+        if climb >= len(anchor):
+            return None  # escapes the package tree
+        if climb:
+            anchor = anchor[:-climb]
+        return ".".join(anchor + node.module.split(".")) if node.module \
+            else ".".join(anchor)
+
+    # -- closures and digests -------------------------------------------
+
+    def closure(self, module: str) -> frozenset[str]:
+        """Transitive import closure, including ``module`` itself.
+
+        Ancestor package ``__init__`` modules of every member are
+        included (shallowly — see the module docstring).
+        """
+        cached = self._closures.get(module)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        stack = [module]
+        while stack:
+            m = stack.pop()
+            if m in seen or not self.covers(m):
+                continue
+            seen.add(m)
+            stack.extend(self.direct_imports(m))
+        for m in list(seen):
+            parts = m.split(".")
+            for i in range(1, len(parts)):
+                ancestor = ".".join(parts[:i])
+                if self.covers(ancestor):
+                    seen.add(ancestor)
+        out = frozenset(seen)
+        self._closures[module] = out
+        return out
+
+    def fingerprint(self, modules: str | Iterable[str]) -> str:
+        """Digest of the union of the given modules' source closures.
+
+        Same shape as the package-wide fingerprint (16 hex chars) and
+        computed the same way — relative path + file bytes — just over
+        the closure's files instead of every ``.py`` in the package.
+        """
+        if isinstance(modules, str):
+            modules = (modules,)
+        files: set[Path] = set()
+        for module in modules:
+            for member in self.closure(module):
+                path = self.module_path(member)
+                if path is not None:
+                    files.add(path)
+        h = hashlib.sha256()
+        for path in sorted(files):
+            h.update(path.relative_to(self.root).as_posix().encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+        return h.hexdigest()[:16]

@@ -26,7 +26,7 @@ from typing import Any, Mapping, Sequence
 from repro.runtime.cache import (
     ResultCache,
     build_manifest,
-    code_fingerprint,
+    spec_fingerprint,
     task_key,
 )
 from repro.runtime.serialize import jsonify
@@ -169,18 +169,22 @@ def run_tasks(
     pass ``use_cache=False`` to force recomputation (results are still
     written back so later runs can hit).
 
+    Each task's cache key is scoped to its spec's dependency-closure
+    fingerprint (:func:`~repro.runtime.cache.spec_fingerprint`) unless
+    an explicit ``fingerprint`` overrides it for the whole run.
+
     Task budgets (``timeout_s`` / spec.timeout_s) are enforced only in
     pool mode (``jobs >= 2``), where a stuck worker can be terminated;
     the inline path runs each produce-fn to completion.
     """
     cache = cache if cache is not None else ResultCache()
-    fp = fingerprint or code_fingerprint()
+    fps = [fingerprint or spec_fingerprint(task.spec) for task in tasks]
 
     results: list[TaskResult | None] = [None] * len(tasks)
     misses: list[int] = []
     for i, task in enumerate(tasks):
         params = task.params()
-        key = task_key(task.spec, params, fingerprint=fp)
+        key = task_key(task.spec, params, fingerprint=fps[i])
         manifest = cache.lookup(task.spec.name, key) if use_cache else None
         if manifest is not None:
             results[i] = TaskResult(
@@ -199,14 +203,14 @@ def run_tasks(
         if jobs <= 1:
             for i in misses:
                 outcome = _worker(tasks[i].spec, results[i].params)
-                _absorb(results[i], tasks[i], outcome, fp, cache)
+                _absorb(results[i], tasks[i], outcome, fps[i], cache)
         else:
-            _run_pool(tasks, results, misses, jobs, timeout_s, fp, cache)
+            _run_pool(tasks, results, misses, jobs, timeout_s, fps, cache)
 
     return [r for r in results if r is not None]
 
 
-def _run_pool(tasks, results, misses, jobs, timeout_s, fp, cache):
+def _run_pool(tasks, results, misses, jobs, timeout_s, fps, cache):
     pool = WorkerPool(min(jobs, len(misses)))
     timed_out = False
     try:
@@ -242,7 +246,7 @@ def _run_pool(tasks, results, misses, jobs, timeout_s, fp, cache):
                 results[i].status = "error"
                 results[i].error = f"worker process died: {exc}"
                 continue
-            _absorb(results[i], tasks[i], outcome, fp, cache)
+            _absorb(results[i], tasks[i], outcome, fps[i], cache)
     finally:
         # Every future is resolved or cancelled by now, so any worker
         # still busy is grinding a timed-out task — terminate it rather

@@ -13,8 +13,13 @@ layer is a thin shell over:
   :class:`~repro.runtime.cache.ResultCache` manifests keyed on the
   request fingerprint (graph fingerprint + buffer + objective +
   hardware config family + relu mask + batch + word width) and the
-  package code fingerprint, so a restarted server stays warm and a
-  stale binary never replays old numbers;
+  *pricing-scoped* code fingerprint (:func:`serve_fingerprint` — the
+  import closure of :mod:`repro.api`, which covers core/graph/zoo but
+  not ``experiments/``), so a restarted server stays warm, editing an
+  experiment driver never cold-starts the serve cache, and a changed
+  pricing stack never replays old numbers.  ``cache_max_entries`` /
+  ``cache_max_bytes`` bound the store with LRU eviction (evictions are
+  counted in ``/v1/stats``);
 * **worker processes** — DPs run on a
   :class:`~repro.runtime.pool.WorkerPool` so the event loop never
   blocks on a schedule search;
@@ -32,15 +37,27 @@ responses bit-identical to the Python facade and the CLI.
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from repro import api
-from repro.runtime.cache import ResultCache, code_fingerprint
+from repro.runtime.cache import ResultCache, module_fingerprint
 from repro.runtime.pool import WorkerPool
 
 #: Cache "spec" namespace: manifests land in ``<cache root>/serve/``.
 CACHE_SPEC = "serve"
+
+
+def serve_fingerprint() -> str:
+    """Code digest the serve cache is scoped to.
+
+    The import closure of :mod:`repro.api` — every module a price can
+    depend on (core DP/walkers, graph, zoo, wavecore models) and none
+    it can't (experiment drivers, the runtime engine, this file's own
+    batching logic).
+    """
+    return module_fingerprint("repro.api")
 
 
 def price_wire(wire: Mapping[str, Any]) -> dict[str, Any]:
@@ -88,11 +105,13 @@ class EngineStats:
     executions: int = 0
     degraded: int = 0
     errors: int = 0
+    #: manifests dropped by the LRU bound on the result cache
+    evictions: int = 0
 
     def to_wire(self) -> dict[str, int]:
         return {f: getattr(self, f) for f in (
             "requests", "cache_hits", "dedup_hits", "batched",
-            "executions", "degraded", "errors",
+            "executions", "degraded", "errors", "evictions",
         )}
 
 
@@ -111,6 +130,9 @@ class ScheduleEngine:
     executor — the mode tests (and tiny deployments) use; any other
     count owns a :class:`~repro.runtime.pool.WorkerPool` of that size.
     ``cache=None`` disables result persistence (dedup still applies).
+    ``cache_max_entries`` / ``cache_max_bytes`` bound the persisted
+    serve namespace: least-recently-used manifests are deleted once
+    either limit is exceeded (``None`` = unbounded).
     """
 
     def __init__(
@@ -121,6 +143,8 @@ class ScheduleEngine:
         timeout_s: float = 30.0,
         max_pending: int = 64,
         batch_window_s: float = 0.002,
+        cache_max_entries: int | None = None,
+        cache_max_bytes: int | None = None,
         pricer: Callable[[Mapping[str, Any]], dict] | None = None,
         batch_pricer: Callable[[list], list] | None = None,
     ):
@@ -129,6 +153,8 @@ class ScheduleEngine:
         self.timeout_s = timeout_s
         self.max_pending = max_pending
         self.batch_window_s = batch_window_s
+        self.cache_max_entries = cache_max_entries
+        self.cache_max_bytes = cache_max_bytes
         self._pricer = pricer if pricer is not None else price_wire
         self._batch_pricer = (
             batch_pricer if batch_pricer is not None else price_batch_wire
@@ -138,6 +164,20 @@ class ScheduleEngine:
         self._batcher: asyncio.Task | None = None
         self._dispatches: set[asyncio.Task] = set()
         self.stats = EngineStats()
+        #: LRU index over the serve namespace: key -> manifest bytes on
+        #: disk, oldest first.  Seeded from whatever a previous server
+        #: left behind (mtime order approximates its recency).
+        self._lru: OrderedDict[str, int] = OrderedDict()
+        self._lru_bytes = 0
+        if cache is not None and self._bounded:
+            entries = sorted(
+                cache.entries(CACHE_SPEC),
+                key=lambda p: (p.stat().st_mtime, p.name),
+            )
+            for path in entries:
+                self._lru[path.stem] = path.stat().st_size
+                self._lru_bytes += path.stat().st_size
+            self._evict()
 
     # -- key derivation ------------------------------------------------
 
@@ -166,25 +206,61 @@ class ScheduleEngine:
 
     # -- cache layer ---------------------------------------------------
 
+    @property
+    def _bounded(self) -> bool:
+        return (self.cache_max_entries is not None
+                or self.cache_max_bytes is not None)
+
     def _cache_lookup(self, key: str) -> dict[str, Any] | None:
         if self.cache is None:
             return None
         manifest = self.cache.lookup(CACHE_SPEC, key)
         if manifest is None:
             return None
-        if manifest.get("fingerprint") != code_fingerprint():
-            return None  # stale code: never replay old numbers
+        if manifest.get("fingerprint") != serve_fingerprint():
+            return None  # stale pricing code: never replay old numbers
+        if self._bounded:
+            if key not in self._lru:  # stored by another process
+                size = self.cache.path(CACHE_SPEC, key).stat().st_size
+                self._lru[key] = size
+                self._lru_bytes += size
+            self._lru.move_to_end(key)
         return manifest.get("result")
 
     def _cache_store(self, key: str, result: Mapping[str, Any]) -> None:
         if self.cache is None:
             return
-        self.cache.store({
+        path = self.cache.store({
             "spec": CACHE_SPEC,
             "key": key,
-            "fingerprint": code_fingerprint(),
+            "fingerprint": serve_fingerprint(),
             "result": dict(result),
         })
+        if self._bounded:
+            self._lru_bytes -= self._lru.pop(key, 0)
+            self._lru[key] = path.stat().st_size
+            self._lru_bytes += self._lru[key]
+            self._evict()
+
+    def _evict(self) -> None:
+        """Drop least-recently-used manifests until inside both bounds."""
+
+        def over() -> bool:
+            if (self.cache_max_entries is not None
+                    and len(self._lru) > self.cache_max_entries):
+                return True
+            return (self.cache_max_bytes is not None
+                    and self._lru_bytes > self.cache_max_bytes)
+
+        while self._lru and over():
+            key, size = self._lru.popitem(last=False)
+            self._lru_bytes -= size
+            path = self.cache.path(CACHE_SPEC, key)
+            try:
+                path.unlink()
+            except OSError:
+                pass  # already gone: the bound is still respected
+            self.stats.evictions += 1
 
     # -- the submit path -----------------------------------------------
 

@@ -232,10 +232,14 @@ async def run_server(
     timeout_s: float = 30.0,
     max_pending: int = 64,
     cache=None,
+    cache_max_entries: int | None = None,
+    cache_max_bytes: int | None = None,
 ) -> None:
     """Entry point behind ``mbs-repro serve``: run until cancelled."""
     engine = ScheduleEngine(cache=cache, workers=workers,
-                            timeout_s=timeout_s, max_pending=max_pending)
+                            timeout_s=timeout_s, max_pending=max_pending,
+                            cache_max_entries=cache_max_entries,
+                            cache_max_bytes=cache_max_bytes)
     server = Server(engine, host=host, port=port)
     await server.start()
     print(f"mbs-repro serve: listening on http://{server.host}:{server.port}")

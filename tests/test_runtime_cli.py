@@ -221,6 +221,26 @@ class TestExitCodes:
         assert main(["fingerprint"]) == 0
         assert capsys.readouterr().out.strip() == code_fingerprint()
 
+    def test_fingerprint_spec_prints_dependency_scoped_digest(
+            self, capsys):
+        from repro.runtime import code_fingerprint, get_spec, \
+            spec_fingerprint
+
+        assert main(["fingerprint", "--spec", "energy_sweep"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == spec_fingerprint(get_spec("energy_sweep"))
+        assert out != code_fingerprint()
+
+    def test_fingerprint_unknown_spec_is_usage_error(self, capsys):
+        assert main(["fingerprint", "--spec", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_bad_shard_is_usage_error(self, capsys, cache_dir):
+        for bad in ("2/2", "3/2", "-1/2", "0/0", "x/2", "1"):
+            assert main(["sweep", "fig3", "--set", "mini_batch=16,32",
+                         f"--shard={bad}", "--cache-dir", cache_dir]) == 2
+            assert "--shard expects" in capsys.readouterr().err
+
 
 class TestRunSubcommand:
     def test_run_then_cache_hit_replays_render(self, capsys, cache_dir):
@@ -377,3 +397,90 @@ class TestAllSubcommand:
         ]
         assert len(run_lines) == len(SMOKE.split(","))
         assert all(ln.split()[1] == "cached" for ln in run_lines)
+
+
+GRID = ["--set", "net_name='resnet50'", "--set", "mini_batch=16,32",
+        "--set", "buffer_mib=5,10"]
+
+
+class TestShardMergeResume:
+    def sweep(self, tmp_path, tag, *extra):
+        args = (["sweep", "fig3"] + GRID
+                + ["--cache-dir", str(tmp_path / f"cache-{tag}"),
+                   "--out", str(tmp_path / f"out-{tag}")] + list(extra))
+        return main(args)
+
+    def test_shards_merge_byte_identical_to_single_process(
+            self, capsys, tmp_path):
+        """Acceptance: `--shard 0/2` + `--shard 1/2`, merged, is
+        byte-identical to the one-process `--jobs 1` reference run."""
+        assert self.sweep(tmp_path, "full", "--jobs", "1") == 0
+        assert self.sweep(tmp_path, "s0", "--shard", "0/2") == 0
+        assert self.sweep(tmp_path, "s1", "--shard", "1/2") == 0
+        capsys.readouterr()
+        merged = tmp_path / "merged"
+        assert main(["merge", str(tmp_path / "out-s0"),
+                     str(tmp_path / "out-s1"), "--out", str(merged),
+                     "--check", str(tmp_path / "out-full")]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        names = sorted(p.name for p in merged.iterdir())
+        assert names == sorted(
+            p.name for p in (tmp_path / "out-full").iterdir()
+        )
+        assert len(names) == 4
+
+    def test_shards_partition_the_grid(self, capsys, tmp_path):
+        assert self.sweep(tmp_path, "s0", "--shard", "0/2") == 0
+        assert self.sweep(tmp_path, "s1", "--shard", "1/2") == 0
+        n0 = len(list((tmp_path / "out-s0").iterdir()))
+        n1 = len(list((tmp_path / "out-s1").iterdir()))
+        assert n0 == 2 and n1 == 2
+        shared = {p.name for p in (tmp_path / "out-s0").iterdir()} & \
+            {p.name for p in (tmp_path / "out-s1").iterdir()}
+        assert shared == set()
+
+    def test_merge_conflict_fails(self, capsys, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.mkdir(), b.mkdir()
+        (a / "same.json").write_bytes(b'{"v": 1}\n')
+        (b / "same.json").write_bytes(b'{"v": 2}\n')
+        assert main(["merge", str(a), str(b),
+                     "--out", str(tmp_path / "m")]) == 1
+        assert "conflict" in capsys.readouterr().err
+
+    def test_merge_check_detects_divergence(self, capsys, tmp_path):
+        a, ref = tmp_path / "a", tmp_path / "ref"
+        a.mkdir(), ref.mkdir()
+        (a / "x.json").write_bytes(b'{"v": 1}\n')
+        (ref / "x.json").write_bytes(b'{"v": 1}\n')
+        (ref / "y.json").write_bytes(b'{"v": 2}\n')
+        assert main(["merge", str(a), "--out", str(tmp_path / "m"),
+                     "--check", str(ref)]) == 1
+        assert "missing from merge: y.json" in capsys.readouterr().err
+
+    def test_merge_missing_dir_is_usage_error(self, capsys, tmp_path):
+        assert main(["merge", str(tmp_path / "nope"),
+                     "--out", str(tmp_path / "m")]) == 2
+
+    def test_resume_skips_cached_points(self, capsys, tmp_path):
+        assert self.sweep(tmp_path, "r", "--jobs", "1") == 0
+        capsys.readouterr()
+        assert self.sweep(tmp_path, "r", "--resume") == 0
+        out = capsys.readouterr().out
+        assert "resume-skipped=4" in out
+        assert out.count("skipped") >= 4
+        assert "ran" not in [
+            ln.split()[1] for ln in out.splitlines()
+            if ln.split() and ln.split()[0].startswith("buffer_mib=")
+        ]
+
+    def test_resume_runs_only_the_missing_points(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache-r")
+        assert main(["sweep", "fig3"] + GRID
+                    + ["--shard", "0/2", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "fig3"] + GRID
+                    + ["--resume", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "2 of 4 point(s)" in out and "resume-skipped=2" in out

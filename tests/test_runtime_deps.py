@@ -1,0 +1,316 @@
+"""Static import-closure analyzer: resolution, closures, fingerprints.
+
+Synthetic package trees exercise the resolution rules in isolation; the
+copied-tree tests then lock the acceptance property on the real
+package: touching ``experiments/energy_sweep.py`` changes that spec's
+fingerprint and nobody else's.
+"""
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.runtime import (
+    ImportGraph,
+    code_fingerprint,
+    get_spec,
+    module_fingerprint,
+    reset_fingerprint_caches,
+    spec_fingerprint,
+)
+
+
+def make_pkg(root: Path, files: dict[str, str],
+             package: str = "pkg") -> ImportGraph:
+    pkg_dir = root / package
+    for rel, text in files.items():
+        path = pkg_dir / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return ImportGraph(pkg_dir, package)
+
+
+BASIC = {
+    "__init__.py": "",
+    "a.py": "from pkg.b import helper\n",
+    "b.py": "import pkg.c\n",
+    "c.py": "VALUE = 1\n",
+    "lone.py": "OTHER = 2\n",
+}
+
+
+class TestResolution:
+    def test_plain_and_from_imports(self, tmp_path):
+        g = make_pkg(tmp_path, BASIC)
+        assert g.direct_imports("pkg.a") == {"pkg.b"}
+        assert g.direct_imports("pkg.b") == {"pkg.c"}
+        assert g.direct_imports("pkg.c") == set()
+
+    def test_from_package_import_submodule(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "sub/__init__.py": "",
+            "sub/mod.py": "X = 1\n",
+            "user.py": "from pkg.sub import mod\n",
+        })
+        assert g.direct_imports("pkg.user") == {"pkg.sub.mod"}
+
+    def test_from_package_import_name_depends_on_package(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "sub/__init__.py": "X = 1\n",
+            "user.py": "from pkg.sub import X\n",
+        })
+        assert g.direct_imports("pkg.user") == {"pkg.sub"}
+
+    def test_relative_imports(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "sub/__init__.py": "",
+            "sub/mod.py": "from . import sib\nfrom ..top import T\n",
+            "sub/sib.py": "S = 1\n",
+            "top.py": "T = 1\n",
+        })
+        assert g.direct_imports("pkg.sub.mod") == {"pkg.sub.sib",
+                                                   "pkg.top"}
+
+    def test_relative_import_in_package_init(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "sub/__init__.py": "from .mod import f\n",
+            "sub/mod.py": "def f(): pass\n",
+        })
+        assert g.direct_imports("pkg.sub") == {"pkg.sub.mod"}
+
+    def test_star_import_depends_on_module(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "a.py": "from pkg.b import *\n",
+            "b.py": "X = 1\n",
+        })
+        assert g.direct_imports("pkg.a") == {"pkg.b"}
+
+    def test_lazy_function_level_imports_count(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "a.py": "def f():\n    from pkg.b import X\n    return X\n",
+            "b.py": "X = 1\n",
+        })
+        assert g.direct_imports("pkg.a") == {"pkg.b"}
+
+    def test_external_imports_ignored(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "a.py": "import os\nimport json\nfrom pathlib import Path\n",
+        })
+        assert g.direct_imports("pkg.a") == set()
+
+    def test_unresolvable_module(self, tmp_path):
+        g = make_pkg(tmp_path, BASIC)
+        assert not g.covers("pkg.nope")
+        assert not g.covers("otherpkg.a")
+        assert g.closure("pkg.nope") == set()
+
+
+class TestClosure:
+    def test_transitive(self, tmp_path):
+        g = make_pkg(tmp_path, BASIC)
+        assert g.closure("pkg.a") == {"pkg", "pkg.a", "pkg.b", "pkg.c"}
+
+    def test_cycles_terminate(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "a.py": "import pkg.b\n",
+            "b.py": "import pkg.a\n",
+        })
+        assert g.closure("pkg.a") == {"pkg", "pkg.a", "pkg.b"}
+        assert g.closure("pkg.b") == {"pkg", "pkg.a", "pkg.b"}
+
+    def test_self_import_cycle(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "a.py": "import pkg.a\n",
+        })
+        assert g.closure("pkg.a") == {"pkg", "pkg.a"}
+
+    def test_ancestor_inits_included_shallowly(self, tmp_path):
+        """A leaf's closure carries its package __init__s but does not
+        follow their imports — sibling registrations stay out."""
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "sub/__init__.py": "from pkg.sub import heavy, light\n",
+            "sub/light.py": "X = 1\n",
+            "sub/heavy.py": "import pkg.sub.dragged\n",
+            "sub/dragged.py": "Y = 1\n",
+        })
+        closure = g.closure("pkg.sub.light")
+        assert "pkg.sub" in closure  # the __init__ itself is hashed
+        assert "pkg.sub.heavy" not in closure
+        assert "pkg.sub.dragged" not in closure
+
+    def test_explicit_package_import_follows_init(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "sub/__init__.py": "from pkg.sub import impl\n",
+            "sub/impl.py": "X = 1\n",
+            "user.py": "from pkg.sub import X\n",
+        })
+        assert g.closure("pkg.user") >= {"pkg.sub", "pkg.sub.impl"}
+
+
+class TestFingerprint:
+    def edit(self, g, rel, text):
+        (g.root / rel).write_text(text)
+        return ImportGraph(g.root, g.package)  # fresh parse
+
+    def test_dep_change_changes_fingerprint(self, tmp_path):
+        g = make_pkg(tmp_path, BASIC)
+        before = g.fingerprint("pkg.a")
+        g2 = self.edit(g, "c.py", "VALUE = 2\n")
+        assert g2.fingerprint("pkg.a") != before
+
+    def test_transitive_dep_change_changes_fingerprint(self, tmp_path):
+        g = make_pkg(tmp_path, BASIC)
+        a, b = g.fingerprint("pkg.a"), g.fingerprint("pkg.b")
+        g2 = self.edit(g, "c.py", "VALUE = 3\n")
+        assert g2.fingerprint("pkg.a") != a
+        assert g2.fingerprint("pkg.b") != b
+
+    def test_unrelated_edit_is_stable(self, tmp_path):
+        g = make_pkg(tmp_path, BASIC)
+        before_a = g.fingerprint("pkg.a")
+        before_lone = g.fingerprint("pkg.lone")
+        g2 = self.edit(g, "lone.py", '"""docstring only edit."""\n')
+        assert g2.fingerprint("pkg.a") == before_a
+        assert g2.fingerprint("pkg.lone") != before_lone
+
+    def test_ancestor_init_edit_changes_everyone(self, tmp_path):
+        g = make_pkg(tmp_path, BASIC)
+        before = g.fingerprint("pkg.lone")
+        g2 = self.edit(g, "__init__.py", "# init changed\n")
+        assert g2.fingerprint("pkg.lone") != before
+
+    def test_cycle_fingerprint_is_stable_and_shared(self, tmp_path):
+        g = make_pkg(tmp_path, {
+            "__init__.py": "",
+            "a.py": "import pkg.b\n",
+            "b.py": "import pkg.a\n",
+        })
+        assert g.fingerprint("pkg.a") == g.fingerprint("pkg.b")
+        assert g.fingerprint("pkg.a") == g.fingerprint("pkg.a")
+
+    def test_multi_module_union(self, tmp_path):
+        g = make_pkg(tmp_path, BASIC)
+        union = g.fingerprint(["pkg.a", "pkg.lone"])
+        assert union != g.fingerprint("pkg.a")
+        assert union != g.fingerprint("pkg.lone")
+        assert union == g.fingerprint(["pkg.lone", "pkg.a"])
+
+    def test_same_shape_as_code_fingerprint(self, tmp_path):
+        g = make_pkg(tmp_path, BASIC)
+        fp = g.fingerprint("pkg.a")
+        assert len(fp) == 16
+        assert int(fp, 16) >= 0
+
+
+# ---------------------------------------------------------------------------
+# The installed package: per-spec scoping and the acceptance property
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def repro_copy(tmp_path_factory):
+    """A private copy of the repro source tree, safe to edit."""
+    src = Path(repro.__file__).resolve().parent
+    dst = tmp_path_factory.mktemp("pkgcopy") / "repro"
+    shutil.copytree(src, dst,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    return dst
+
+
+def _spec_modules():
+    import repro.experiments  # noqa: F401  (registers the specs)
+    from repro.runtime import all_specs
+
+    return {spec.name: spec.module for spec in all_specs()}
+
+
+class TestRealPackage:
+    def test_leaf_touch_invalidates_only_its_specs(self, repro_copy):
+        """The PR's acceptance property: edit energy_sweep.py, every
+        other spec's fingerprint (hence cache key) is unchanged."""
+        modules = _spec_modules()
+        before = {
+            name: ImportGraph(repro_copy).fingerprint(mod)
+            for name, mod in modules.items()
+        }
+        target = repro_copy / "experiments" / "energy_sweep.py"
+        target.write_text(target.read_text() + "\n# touched\n")
+        after_graph = ImportGraph(repro_copy)
+        changed = {
+            name for name, mod in modules.items()
+            if after_graph.fingerprint(mod) != before[name]
+        }
+        assert changed == {"energy_sweep"}
+
+    def test_core_touch_invalidates_every_spec(self, repro_copy):
+        """Editing a module everyone depends on cold-starts everyone —
+        the closure is an over-approximation, never an under one."""
+        modules = _spec_modules()
+        graph = ImportGraph(repro_copy)
+        target = repro_copy / "runtime" / "spec.py"
+        before = {n: graph.fingerprint(m) for n, m in modules.items()}
+        target.write_text(target.read_text() + "\n# touched\n")
+        after_graph = ImportGraph(repro_copy)
+        assert all(
+            after_graph.fingerprint(mod) != before[name]
+            for name, mod in modules.items()
+        )
+
+    def test_spec_closures_exclude_sibling_experiments(self):
+        graph = ImportGraph(Path(repro.__file__).resolve().parent)
+        closure = graph.closure(_spec_modules()["fig3"])
+        siblings = {m for m in closure
+                    if m.startswith("repro.experiments.")
+                    and m != "repro.experiments"}
+        assert "repro.experiments.energy_sweep" not in siblings
+        assert "repro.experiments.fig03_footprint" in closure
+
+    def test_api_closure_excludes_experiments_and_serve(self):
+        graph = ImportGraph(Path(repro.__file__).resolve().parent)
+        closure = graph.closure("repro.api")
+        assert not any(m.startswith("repro.experiments.")
+                       for m in closure)
+        assert not any(m.startswith("repro.serve") for m in closure)
+        assert "repro.core" in closure
+
+
+class TestModuleFingerprint:
+    def test_spec_fingerprints_are_dependency_scoped(self):
+        fig3 = spec_fingerprint(get_spec("fig3"))
+        energy = spec_fingerprint(get_spec("energy_sweep"))
+        assert fig3 != energy
+        assert fig3 != code_fingerprint()
+
+    def test_unknown_module_falls_back_to_package_digest(self):
+        assert module_fingerprint("not.a.repro.module") == \
+            code_fingerprint()
+        assert module_fingerprint() == code_fingerprint()
+
+    def test_mixed_known_unknown_falls_back(self):
+        assert module_fingerprint("repro.api", "not.a.module") == \
+            code_fingerprint()
+
+    def test_memoized_and_resettable(self):
+        first = module_fingerprint("repro.api")
+        assert module_fingerprint("repro.api") == first
+        reset_fingerprint_caches()
+        assert module_fingerprint("repro.api") == first
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_serve_fingerprint_is_api_scoped(self):
+        from repro.serve.engine import serve_fingerprint
+
+        assert serve_fingerprint() == module_fingerprint("repro.api")
+        assert serve_fingerprint() != code_fingerprint()

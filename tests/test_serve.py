@@ -250,7 +250,7 @@ class TestEngineCache:
 
         run(go(ScheduleEngine(workers=0, batch_window_s=0.001,
                               cache=cache)))
-        monkeypatch.setattr("repro.serve.engine.code_fingerprint",
+        monkeypatch.setattr("repro.serve.engine.serve_fingerprint",
                             lambda: "different-build")
         eng = ScheduleEngine(workers=0, batch_window_s=0.001, cache=cache)
         _, meta = run(go(eng))
@@ -450,9 +450,109 @@ class TestCliServe:
 
         assert main(["serve", "--timeout", "0"]) == 2
         assert main(["serve", "--workers", "-1"]) == 2
+        assert main(["serve", "--cache-max-entries", "-1"]) == 2
+        assert main(["serve", "--cache-max-bytes", "-1"]) == 2
         assert main(["serve", "--bogus"]) == 2
 
     def test_serve_in_subcommands(self):
         from repro.experiments.runner import SUBCOMMANDS
 
         assert "serve" in SUBCOMMANDS
+
+
+class TestCacheEviction:
+    def _fill(self, eng, n):
+        async def go():
+            try:
+                for i in range(n):
+                    await eng.submit(_wire(buffer_bytes=(i + 1) * 32 * KIB))
+            finally:
+                await eng.aclose()
+
+        run(go())
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        eng = ScheduleEngine(workers=0, batch_window_s=0.001, cache=cache)
+        self._fill(eng, 5)
+        assert len(list(cache.entries("serve"))) == 5
+        assert eng.stats.evictions == 0
+
+    def test_max_entries_bounds_the_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        eng = ScheduleEngine(workers=0, batch_window_s=0.001, cache=cache,
+                             cache_max_entries=3)
+        self._fill(eng, 5)
+        assert len(list(cache.entries("serve"))) == 3
+        assert eng.stats.evictions == 2
+
+    def test_lru_keeps_recently_used_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        eng = ScheduleEngine(workers=0, batch_window_s=0.001, cache=cache,
+                             cache_max_entries=2)
+
+        async def go():
+            try:
+                _, m1 = await eng.submit(_wire(buffer_bytes=32 * KIB))
+                await eng.submit(_wire(buffer_bytes=64 * KIB))
+                # touch the first entry so the second becomes the LRU
+                _, m2 = await eng.submit(_wire(buffer_bytes=32 * KIB))
+                await eng.submit(_wire(buffer_bytes=96 * KIB))
+                # first must still hit; second was evicted
+                _, m3 = await eng.submit(_wire(buffer_bytes=32 * KIB))
+                _, m4 = await eng.submit(_wire(buffer_bytes=64 * KIB))
+                return m1, m2, m3, m4
+            finally:
+                await eng.aclose()
+
+        m1, m2, m3, m4 = run(go())
+        assert m1["cached"] is False and m2["cached"] is True
+        assert m3["cached"] is True, "recently-used entry must survive"
+        assert m4["cached"] is False, "LRU entry must have been evicted"
+        assert eng.stats.evictions >= 1
+
+    def test_max_bytes_bounds_the_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        probe = ScheduleEngine(workers=0, batch_window_s=0.001,
+                               cache=cache)
+        self._fill(probe, 1)
+        size = next(cache.entries("serve")).stat().st_size
+        cache.clear("serve")
+
+        eng = ScheduleEngine(workers=0, batch_window_s=0.001, cache=cache,
+                             cache_max_bytes=2 * size + size // 2)
+        self._fill(eng, 4)
+        paths = list(cache.entries("serve"))
+        assert sum(p.stat().st_size for p in paths) <= 2 * size + size // 2
+        assert eng.stats.evictions >= 1
+
+    def test_restart_seeds_lru_from_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        eng = ScheduleEngine(workers=0, batch_window_s=0.001, cache=cache)
+        self._fill(eng, 5)
+        # a bounded restart trims the inherited store immediately
+        eng2 = ScheduleEngine(workers=0, batch_window_s=0.001, cache=cache,
+                              cache_max_entries=2)
+        assert len(list(cache.entries("serve"))) == 2
+        assert eng2.stats.evictions == 3
+        run(eng2.aclose())
+
+    def test_stats_wire_reports_evictions(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        eng = ScheduleEngine(workers=0, batch_window_s=0.001, cache=cache,
+                             cache_max_entries=1)
+        self._fill(eng, 3)
+        wire = eng.stats.to_wire()
+        assert wire["evictions"] == 2
+
+    def test_stats_endpoint_reports_evictions(self, tmp_path):
+        def fn(port):
+            for i in range(3):
+                _post(port, _wire(buffer_bytes=(i + 1) * 32 * KIB))
+            return _get(port, "/v1/stats")
+
+        status, stats = run(_with_server(
+            fn, cache=ResultCache(tmp_path / "serve-cache"),
+            cache_max_entries=2))
+        assert status == 200
+        assert stats["evictions"] == 1
