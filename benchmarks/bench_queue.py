@@ -1,0 +1,191 @@
+"""Work-queue benchmarks: lease grant latency, coordinator throughput.
+
+Two regimes:
+
+* **lease grant** — one in-process ``JobQueue`` lease+complete cycle
+  against a pre-submitted job with prebuilt manifests: the pure
+  bookkeeping cost a coordinator pays per point, no HTTP, no produce.
+* **coordinator throughput** — a live HTTP coordinator drained by four
+  synthetic worker threads that lease, fabricate the expected
+  manifests (no real produce-fn — this times the *queue protocol*),
+  and upload; the gated number is the wall-clock to drain a 64-point
+  job over real sockets.
+
+Both land in ``benchmarks/baselines.json`` and gate through
+``scripts/bench_compare.py`` in the required ``bench-gate`` CI job.
+"""
+import asyncio
+import http.client
+import itertools
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.runtime.cache import spec_fingerprint, task_key
+from repro.runtime.queue import JobQueue
+from repro.runtime.spec import ExperimentSpec, expand_grid, register
+from repro.serve import JobHost, ScheduleEngine, Server
+
+
+def _produce(x=0):
+    return {"value": x}
+
+
+SPEC = register(ExperimentSpec(
+    name="bench_queue",
+    title="synthetic queue benchmark spec",
+    produce=_produce,
+    artifact=("value",),
+))
+
+#: fresh axis values per submission so no run hits a previous job's keys
+_fresh_x = itertools.count()
+
+
+def _grid(n):
+    return expand_grid({"x": [next(_fresh_x) for _ in range(n)]})
+
+
+def _manifest(params, key):
+    return {
+        "spec": SPEC.name,
+        "version": SPEC.version,
+        "key": key,
+        "fingerprint": spec_fingerprint(SPEC),
+        "params": params,
+        "artifact": _produce(**params),
+        "rendered": "",
+    }
+
+
+def test_bench_queue_lease_grant(benchmark):
+    """One lease+complete cycle of in-process queue bookkeeping."""
+    queue = JobQueue(lease_timeout_s=3600.0)
+    job = queue.submit(SPEC, _grid(4096))
+    manifests = {p.index: _manifest(p.params, p.key) for p in job.points}
+
+    def cycle():
+        granted = queue.lease("bench-worker")
+        assert granted is not None
+        _, lease, points = granted
+        queue.complete(lease.lease_id, points[0].index,
+                       manifests[points[0].index])
+
+    benchmark.pedantic(cycle, rounds=200, iterations=1)
+    assert queue.points_completed >= 200
+
+
+class _LiveCoordinator:
+    def __init__(self):
+        self.loop = asyncio.new_event_loop()
+        self.server = None
+        self.host = None
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+
+            async def boot():
+                self.host = JobHost(JobQueue(lease_timeout_s=3600.0))
+                self.server = Server(ScheduleEngine(workers=0),
+                                     jobs=self.host)
+                await self.server.start()
+                started.set()
+
+            self.loop.run_until_complete(boot())
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        if not started.wait(timeout=30):
+            raise RuntimeError("coordinator failed to start")
+
+    def close(self):
+        asyncio.run_coroutine_threadsafe(
+            self.server.aclose(), self.loop).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+
+
+@pytest.fixture(scope="module")
+def live():
+    stack = _LiveCoordinator()
+    yield stack
+    stack.close()
+
+
+def _request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request(method, path,
+                     body=None if body is None else json.dumps(body),
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        out = json.loads(resp.read().decode())
+        assert resp.status == 200, out
+        return out
+    finally:
+        conn.close()
+
+
+def test_bench_queue_coordinator_throughput(benchmark, live):
+    """Drain a 64-point job through 4 synthetic HTTP workers.
+
+    Workers lease in batches of 4 and upload the coordinator's own
+    expected manifests — no produce-fn runs, so the time measured is
+    the full wire protocol: lease grants, heartbeat-free completes,
+    job polling, JSON codecs.
+    """
+    port = live.server.port
+    workers = ThreadPoolExecutor(max_workers=4)
+
+    def submit_round():
+        # fresh axis values each round: no point is pre-completed, and
+        # submission goes over the wire like everything else
+        values = [next(_fresh_x) for _ in range(64)]
+        job = _request(port, "POST", "/v1/jobs",
+                       {"schema": 1, "artifact": SPEC.name,
+                        "axes": {"x": values}})
+        manifests = {}
+        for index, x in enumerate(values):
+            params = SPEC.resolve_params({"x": x})
+            manifests[index] = _manifest(params, task_key(SPEC, params))
+        return job["job_id"], manifests
+
+    def drain(job_id, manifests, name):
+        done = 0
+        while True:
+            out = _request(port, "POST", "/v1/lease",
+                           {"schema": 1, "worker": name,
+                            "max_points": 4, "job": job_id})
+            grant = out["lease"]
+            if grant is None:
+                return done
+            for point in grant["points"]:
+                _request(
+                    port, "POST",
+                    f"/v1/lease/{grant['lease_id']}/complete",
+                    {"schema": 1, "index": point["index"],
+                     "manifest": manifests[point["index"]]},
+                )
+                done += 1
+
+    def round_trip():
+        job_id, manifests = submit_round()
+        counts = list(workers.map(
+            lambda i: drain(job_id, manifests, f"bench-w{i}"), range(4)))
+        status = _request(port, "GET", f"/v1/jobs/{job_id}")
+        assert status["state"] == "done", status
+        return sum(counts)
+
+    try:
+        total = benchmark.pedantic(round_trip, rounds=5, iterations=1)
+        assert total == 64
+        stats = live.host.queue.stats()
+        benchmark.extra_info["points_completed"] = (
+            stats["points_completed"])
+        benchmark.extra_info["leases_granted"] = stats["leases_granted"]
+    finally:
+        workers.shutdown()

@@ -31,6 +31,46 @@ if [[ $fast -eq 0 ]]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
         python -m repro.experiments.runner all --render-from-cache --summary \
         --cache-dir "$smoke_dir/cache" --out "$smoke_dir/manifests"
+
+    echo "== smoke: queued sweep (coordinator + 2 workers + merge --check) =="
+    serve_log="$smoke_dir/serve.log"
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m repro.experiments.runner serve --port 0 \
+        --cache-dir "$smoke_dir/queue-cache" >"$serve_log" 2>&1 &
+    serve_pid=$!
+    trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+    coord=""
+    for _ in $(seq 1 100); do
+        coord=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' \
+            "$serve_log" | head -n1)
+        [[ -n "$coord" ]] && break
+        kill -0 "$serve_pid" 2>/dev/null || break
+        sleep 0.2
+    done
+    if [[ -z "$coord" ]]; then
+        echo "coordinator did not start:"; cat "$serve_log"; exit 1
+    fi
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m repro.experiments.runner submit-sweep fig3 --quick \
+        --coordinator "$coord"
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m repro.experiments.runner work --coordinator "$coord" \
+        --cache-dir "$smoke_dir/worker-a-cache" &
+    worker_pid=$!
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m repro.experiments.runner work --coordinator "$coord" \
+        --cache-dir "$smoke_dir/worker-b-cache"
+    wait "$worker_pid"
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m repro.experiments.runner submit-sweep fig3 --quick \
+        --coordinator "$coord" --wait --out "$smoke_dir/queue-manifests"
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m repro.experiments.runner sweep fig3 --quick \
+        --cache-dir "$smoke_dir/ref-cache" --out "$smoke_dir/ref-manifests"
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m repro.experiments.runner merge "$smoke_dir/queue-manifests" \
+        --out "$smoke_dir/merged" --check "$smoke_dir/ref-manifests"
+    kill "$serve_pid" 2>/dev/null || true
 fi
 
 echo "== all checks passed =="

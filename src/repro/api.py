@@ -60,9 +60,12 @@ from repro.zoo import build as build_zoo_network
 
 __all__ = [
     "GroupSummary",
+    "LeaseGrant",
     "MIB",
     "ScheduleRequest",
     "ScheduleResult",
+    "SweepJobRequest",
+    "SweepJobStatus",
     "objectives",
     "policies",
     "price",
@@ -315,6 +318,263 @@ class ScheduleResult:
             f"(DRAM share {self.energy_dram_share * 100:.1f}%)"
         )
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# sweep-job wire types (the distributed /v1/jobs surface)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepJobRequest:
+    """One queued sweep job, in wire-friendly form.
+
+    What ``POST /v1/jobs`` carries and ``mbs-repro submit-sweep``
+    builds: a registered experiment artifact plus the sweep axes to
+    grid over.  ``axes=None`` grids the spec's declared default sweep
+    axes — exactly what ``mbs-repro sweep <artifact>`` would run, in
+    the same deterministic point order.  ``max_attempts`` and
+    ``lease_timeout_s`` override the coordinator's defaults for this
+    job only; ``None`` inherits them.
+    """
+
+    artifact: str
+    axes: Mapping[str, Sequence[Any]] | None = None
+    quick: bool = False
+    max_attempts: int | None = None
+    lease_timeout_s: float | None = None
+
+    _WIRE_KEYS = ("artifact", "axes", "quick", "max_attempts",
+                  "lease_timeout_s")
+
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {"schema": SCHEMA_VERSION}
+        for key in self._WIRE_KEYS:
+            value = getattr(self, key)
+            if value is None:
+                continue
+            if key == "axes":
+                value = {k: list(v) for k, v in value.items()}
+            wire[key] = value
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "SweepJobRequest":
+        """Decode and validate a job submission (HTTP body / CLI JSON)."""
+        if not isinstance(wire, Mapping):
+            raise ValueError(
+                f"job request must be a JSON object, got "
+                f"{type(wire).__name__}"
+            )
+        schema = wire.get("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported job schema {schema!r}; this build speaks "
+                f"schema {SCHEMA_VERSION}"
+            )
+        unknown = set(wire) - set(cls._WIRE_KEYS) - {"schema"}
+        if unknown:
+            raise ValueError(
+                f"unknown job request key(s) {sorted(unknown)}; allowed: "
+                f"{list(cls._WIRE_KEYS)}"
+            )
+        req = cls(**{k: wire[k] for k in cls._WIRE_KEYS if k in wire})
+        req.validate()
+        return req
+
+    def validate(self) -> None:
+        """Field validation with path-qualified messages."""
+        if not isinstance(self.artifact, str) or not self.artifact:
+            raise ValueError(
+                f"artifact: expected a registered experiment name, got "
+                f"{self.artifact!r}"
+            )
+        if self.axes is not None:
+            if not isinstance(self.axes, Mapping):
+                raise ValueError(
+                    f"axes: expected an object mapping axis name to a "
+                    f"list of values, got {type(self.axes).__name__}"
+                )
+            for name, values in self.axes.items():
+                if not isinstance(name, str) or not name:
+                    raise ValueError(
+                        f"axes: axis names must be non-empty strings, "
+                        f"got {name!r}"
+                    )
+                if (isinstance(values, (str, bytes))
+                        or not isinstance(values, Sequence)
+                        or len(values) == 0):
+                    raise ValueError(
+                        f"axes.{name}: expected a non-empty array of "
+                        f"values, got {values!r}"
+                    )
+        if not isinstance(self.quick, bool):
+            raise ValueError(
+                f"quick: expected a boolean, got {self.quick!r}"
+            )
+        if self.max_attempts is not None and (
+                not isinstance(self.max_attempts, int)
+                or isinstance(self.max_attempts, bool)
+                or self.max_attempts < 1):
+            raise ValueError(
+                f"max_attempts: expected a positive integer, got "
+                f"{self.max_attempts!r}"
+            )
+        if self.lease_timeout_s is not None and (
+                isinstance(self.lease_timeout_s, bool)
+                or not isinstance(self.lease_timeout_s, (int, float))
+                or self.lease_timeout_s <= 0):
+            raise ValueError(
+                f"lease_timeout_s: expected a positive number, got "
+                f"{self.lease_timeout_s!r}"
+            )
+
+    def describe(self) -> str:
+        axes = (
+            "its default sweep axes" if self.axes is None
+            else " x ".join(
+                f"{name}[{len(values)}]"
+                for name, values in self.axes.items()
+            )
+        )
+        return (
+            f"sweep job: {self.artifact} over {axes}"
+            + (" [quick]" if self.quick else "")
+        )
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """One batch of sweep points granted to a worker.
+
+    What ``POST /v1/lease`` returns: the points (grid index +
+    parameter overrides) the worker must compute before the lease
+    expires, plus everything it needs to rebuild the tasks locally
+    (artifact name, quick flag).  The worker extends the lease by
+    heartbeating at least once per ``lease_timeout_s``; a silent
+    worker's points are re-queued for someone else.
+    """
+
+    job_id: str
+    lease_id: str
+    worker: str
+    artifact: str
+    quick: bool
+    lease_timeout_s: float
+    points: tuple[Mapping[str, Any], ...] = ()
+
+    _WIRE_KEYS = ("job_id", "lease_id", "worker", "artifact", "quick",
+                  "lease_timeout_s", "points")
+
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {"schema": SCHEMA_VERSION}
+        for key in self._WIRE_KEYS:
+            value = getattr(self, key)
+            if key == "points":
+                value = [
+                    {"index": p["index"], "overrides": dict(p["overrides"])}
+                    for p in value
+                ]
+            wire[key] = value
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "LeaseGrant":
+        if not isinstance(wire, Mapping):
+            raise ValueError(
+                f"lease grant must be a JSON object, got "
+                f"{type(wire).__name__}"
+            )
+        missing = [k for k in cls._WIRE_KEYS if k not in wire]
+        if missing:
+            raise ValueError(f"lease grant missing key(s) {missing}")
+        kwargs = {k: wire[k] for k in cls._WIRE_KEYS}
+        points = kwargs["points"]
+        if not isinstance(points, Sequence) or isinstance(points, (str, bytes)):
+            raise ValueError(
+                f"points: expected an array, got {type(points).__name__}"
+            )
+        decoded = []
+        for i, p in enumerate(points):
+            if not isinstance(p, Mapping):
+                raise ValueError(
+                    f"points[{i}]: expected an object, got "
+                    f"{type(p).__name__}"
+                )
+            index = p.get("index")
+            if not isinstance(index, int) or isinstance(index, bool) \
+                    or index < 0:
+                raise ValueError(
+                    f"points[{i}].index: expected a non-negative "
+                    f"integer, got {index!r}"
+                )
+            overrides = p.get("overrides")
+            if not isinstance(overrides, Mapping):
+                raise ValueError(
+                    f"points[{i}].overrides: expected an object, got "
+                    f"{type(overrides).__name__}"
+                )
+            decoded.append({"index": index, "overrides": dict(overrides)})
+        kwargs["points"] = tuple(decoded)
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        return (
+            f"lease {self.lease_id} ({self.job_id}): "
+            f"{len(self.points)} point(s) of {self.artifact}, "
+            f"{self.lease_timeout_s:g}s lease timeout"
+        )
+
+
+@dataclass(frozen=True)
+class SweepJobStatus:
+    """Progress digest of one queued sweep job: what every poll returns.
+
+    ``state`` is ``running`` while any point is pending or leased,
+    ``done`` when every point has a manifest, and ``failed`` when the
+    queue has drained but some points were poisoned (failed
+    ``max_attempts`` times).
+    """
+
+    job_id: str
+    artifact: str
+    quick: bool
+    state: str
+    total: int
+    pending: int
+    leased: int
+    done: int
+    poisoned: int
+    max_attempts: int
+    lease_timeout_s: float
+
+    _WIRE_KEYS = ("job_id", "artifact", "quick", "state", "total",
+                  "pending", "leased", "done", "poisoned", "max_attempts",
+                  "lease_timeout_s")
+
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {"schema": SCHEMA_VERSION}
+        for key in self._WIRE_KEYS:
+            wire[key] = getattr(self, key)
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "SweepJobStatus":
+        if not isinstance(wire, Mapping):
+            raise ValueError(
+                f"job status must be a JSON object, got "
+                f"{type(wire).__name__}"
+            )
+        missing = [k for k in cls._WIRE_KEYS if k not in wire]
+        if missing:
+            raise ValueError(f"job status missing key(s) {missing}")
+        return cls(**{k: wire[k] for k in cls._WIRE_KEYS})
+
+    def describe(self) -> str:
+        return (
+            f"{self.job_id}: {self.artifact} [{self.state}] "
+            f"{self.done}/{self.total} done ({self.leased} leased, "
+            f"{self.pending} pending, {self.poisoned} poisoned)"
+        )
 
 
 # ---------------------------------------------------------------------------

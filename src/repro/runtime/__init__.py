@@ -14,6 +14,9 @@ schedulable units:
   spec name + parameters + the spec's dependency-closure fingerprint.
 - :mod:`repro.runtime.pool` — process-pool sweep engine with
   deterministic result ordering and per-task timeouts.
+- :mod:`repro.runtime.queue` — coordinator-side work queue for
+  distributed sweeps: leases, bounded retries, poison-point
+  quarantine, manifest-key validation.
 
 The ``mbs-repro`` CLI (:mod:`repro.experiments.runner`) is a thin shell
 over these pieces; future scaling work (sharded sweeps, multi-backend,
@@ -31,6 +34,15 @@ from repro.runtime.cache import (
 )
 from repro.runtime.deps import ImportGraph
 from repro.runtime.pool import Task, TaskResult, WorkerPool, run_tasks
+from repro.runtime.queue import (
+    JobQueue,
+    Lease,
+    QueueError,
+    SweepJob,
+    SweepPoint,
+    format_point_line,
+    point_label,
+)
 from repro.runtime.serialize import canonical_dumps, jsonify
 from repro.runtime.spec import (
     ExperimentSpec,
@@ -44,7 +56,12 @@ from repro.runtime.spec import (
 __all__ = [
     "ExperimentSpec",
     "ImportGraph",
+    "JobQueue",
+    "Lease",
+    "QueueError",
     "ResultCache",
+    "SweepJob",
+    "SweepPoint",
     "Task",
     "TaskResult",
     "WorkerPool",
@@ -53,10 +70,12 @@ __all__ = [
     "code_fingerprint",
     "default_cache_dir",
     "expand_grid",
+    "format_point_line",
     "get_spec",
     "jsonify",
     "manifest_bytes",
     "module_fingerprint",
+    "point_label",
     "register",
     "reset_fingerprint_caches",
     "run_tasks",

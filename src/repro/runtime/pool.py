@@ -21,7 +21,7 @@ import io
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.runtime.cache import (
     ResultCache,
@@ -162,6 +162,7 @@ def run_tasks(
     use_cache: bool = True,
     timeout_s: float | None = None,
     fingerprint: str | None = None,
+    on_result: Callable[[Task, TaskResult], None] | None = None,
 ) -> list[TaskResult]:
     """Execute ``tasks``, returning one TaskResult per task, in order.
 
@@ -176,6 +177,12 @@ def run_tasks(
     Task budgets (``timeout_s`` / spec.timeout_s) are enforced only in
     pool mode (``jobs >= 2``), where a stuck worker can be terminated;
     the inline path runs each produce-fn to completion.
+
+    ``on_result`` is invoked once per task as its result finalizes
+    (cache hits immediately, fresh runs as they are absorbed) — the
+    hook behind per-point progress lines and per-point uploads.  In
+    pool mode the callback order is the *collection* order (input
+    order), not completion order.
     """
     cache = cache if cache is not None else ResultCache()
     fps = [fingerprint or spec_fingerprint(task.spec) for task in tasks]
@@ -192,6 +199,8 @@ def run_tasks(
                 status="cached", manifest=manifest,
                 manifest_path=str(cache.path(task.spec.name, key)),
             )
+            if on_result is not None:
+                on_result(task, results[i])
         else:
             results[i] = TaskResult(
                 spec_name=task.spec.name, params=params, key=key,
@@ -204,13 +213,17 @@ def run_tasks(
             for i in misses:
                 outcome = _worker(tasks[i].spec, results[i].params)
                 _absorb(results[i], tasks[i], outcome, fps[i], cache)
+                if on_result is not None:
+                    on_result(tasks[i], results[i])
         else:
-            _run_pool(tasks, results, misses, jobs, timeout_s, fps, cache)
+            _run_pool(tasks, results, misses, jobs, timeout_s, fps, cache,
+                      on_result)
 
     return [r for r in results if r is not None]
 
 
-def _run_pool(tasks, results, misses, jobs, timeout_s, fps, cache):
+def _run_pool(tasks, results, misses, jobs, timeout_s, fps, cache,
+              on_result=None):
     pool = WorkerPool(min(jobs, len(misses)))
     timed_out = False
     try:
@@ -241,12 +254,13 @@ def _run_pool(tasks, results, misses, jobs, timeout_s, fps, cache):
                     if never_started else
                     f"timed out after {budget:.1f}s (task budget)"
                 )
-                continue
             except concurrent.futures.process.BrokenProcessPool as exc:
                 results[i].status = "error"
                 results[i].error = f"worker process died: {exc}"
-                continue
-            _absorb(results[i], tasks[i], outcome, fps[i], cache)
+            else:
+                _absorb(results[i], tasks[i], outcome, fps[i], cache)
+            if on_result is not None:
+                on_result(tasks[i], results[i])
     finally:
         # Every future is resolved or cancelled by now, so any worker
         # still busy is grinding a timed-out task — terminate it rather

@@ -1,0 +1,408 @@
+"""Dynamic sweep work queue: jobs, leases, retries, poison points.
+
+The queue is the coordinator-side state machine behind the serve
+layer's ``/v1/jobs`` surface (:mod:`repro.serve.jobs`).  It is pure
+bookkeeping — no HTTP, no threads, no wall clock of its own (callers
+inject ``clock``; tests drive a fake one) — so lease expiry, bounded
+retries, and quarantine are all unit-testable deterministically.
+
+Life of a point::
+
+    PENDING --lease()--> LEASED --complete()--> DONE
+       ^                    |
+       |   expiry / fail()  |  attempts < max_attempts
+       +--------------------+
+                            |  attempts >= max_attempts
+                            +--> POISONED
+
+A job's point grid comes from :func:`~repro.runtime.spec.expand_grid`
+and is enumerated in the same deterministic order as a single-process
+``mbs-repro sweep`` run; each point carries the content-addressed
+:func:`~repro.runtime.cache.task_key` the coordinator expects its
+manifest to land under.  An uploaded manifest whose key disagrees
+(version-skewed worker code, wrong params) is rejected, which is the
+whole byte-identity story: only manifests a local run would itself
+have produced are ever accepted.
+
+Completion is idempotent and never discards valid work: a manifest
+arriving after its lease expired (slow worker, network partition that
+healed) is still accepted if the point is not yet done and the key
+matches.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.runtime.cache import task_key
+from repro.runtime.spec import ExperimentSpec
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+POISONED = "poisoned"
+
+
+class QueueError(ValueError):
+    """Base class for queue protocol violations (HTTP-mappable)."""
+
+
+class UnknownJob(QueueError):
+    pass
+
+
+class UnknownLease(QueueError):
+    pass
+
+
+class ExpiredLease(QueueError):
+    pass
+
+
+class RejectedManifest(QueueError):
+    pass
+
+
+def point_label(overrides: Mapping[str, Any]) -> str:
+    """Canonical short label for one sweep point (shared CLI spelling)."""
+    return ", ".join(f"{k}={overrides[k]!r}" for k in overrides) or "(base)"
+
+
+def format_point_line(
+    spec_name: str, overrides: Mapping[str, Any], status: str
+) -> str:
+    """One per-point progress line, identical for ``sweep`` and ``work``."""
+    return f"  [{status:>7}] {spec_name}: {point_label(overrides)}"
+
+
+@dataclass
+class SweepPoint:
+    """One grid point of one job."""
+
+    index: int
+    overrides: dict[str, Any]
+    params: dict[str, Any]
+    key: str
+    state: str = PENDING
+    attempts: int = 0
+    lease_id: str | None = None
+    error: str | None = None
+
+
+@dataclass
+class Lease:
+    """One worker's claim on a batch of points."""
+
+    lease_id: str
+    job_id: str
+    worker: str
+    indexes: tuple[int, ...]
+    deadline: float
+    lease_timeout_s: float
+    alive: bool = True
+    done: set[int] = field(default_factory=set)
+
+
+@dataclass
+class SweepJob:
+    """One submitted sweep: a spec plus its full point grid."""
+
+    job_id: str
+    spec: ExperimentSpec
+    quick: bool
+    points: list[SweepPoint]
+    max_attempts: int
+    lease_timeout_s: float
+
+    def counts(self) -> dict[str, int]:
+        c = {PENDING: 0, LEASED: 0, DONE: 0, POISONED: 0}
+        for p in self.points:
+            c[p.state] += 1
+        return c
+
+    @property
+    def state(self) -> str:
+        c = self.counts()
+        if c[PENDING] or c[LEASED]:
+            return "running"
+        return "failed" if c[POISONED] else "done"
+
+
+class JobQueue:
+    """Coordinator bookkeeping for queued sweeps.
+
+    ``clock`` must be a monotonic zero-arg callable; all lease
+    deadlines live on its timeline.  The queue itself is not locked —
+    the serve layer calls it from a single event loop, and unit tests
+    are single-threaded.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        lease_timeout_s: float = 60.0,
+        max_attempts: int = 3,
+    ):
+        if lease_timeout_s <= 0:
+            raise ValueError(
+                f"lease_timeout_s: expected a positive number, got "
+                f"{lease_timeout_s!r}"
+            )
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts: expected a positive integer, got "
+                f"{max_attempts!r}"
+            )
+        self.clock = clock
+        self.lease_timeout_s = lease_timeout_s
+        self.max_attempts = max_attempts
+        self.jobs: dict[str, SweepJob] = {}
+        self.leases: dict[str, Lease] = {}
+        self._job_seq = 0
+        self._lease_seq = 0
+        # monitoring counters (exposed via /v1/stats)
+        self.leases_granted = 0
+        self.leases_expired = 0
+        self.points_completed = 0
+        self.points_failed = 0
+        self.points_poisoned = 0
+        self.manifests_rejected = 0
+
+    # -- submission --------------------------------------------------
+
+    def submit(
+        self,
+        spec: ExperimentSpec,
+        points_overrides: Iterable[Mapping[str, Any]],
+        *,
+        quick: bool = False,
+        lease_timeout_s: float | None = None,
+        max_attempts: int | None = None,
+        already_done: Callable[[SweepPoint], Mapping[str, Any] | None]
+        | None = None,
+    ) -> SweepJob:
+        """Enqueue one sweep job over an explicit point grid.
+
+        ``points_overrides`` is the deterministic grid enumeration
+        (usually ``expand_grid(axes)``); each point's params and cache
+        key are resolved here, once, on the coordinator's code — the
+        reference a worker's upload must match.  ``already_done`` lets
+        the caller pre-complete points whose manifests it already holds
+        (a cache hit): it receives the resolved point and returns the
+        manifest or ``None``.
+        """
+        self._job_seq += 1
+        job_id = f"job-{self._job_seq}"
+        points = []
+        for index, overrides in enumerate(points_overrides):
+            params = spec.resolve_params(overrides, quick=quick)
+            points.append(
+                SweepPoint(
+                    index=index,
+                    overrides=dict(overrides),
+                    params=params,
+                    key=task_key(spec, params),
+                )
+            )
+        job = SweepJob(
+            job_id=job_id,
+            spec=spec,
+            quick=quick,
+            points=points,
+            max_attempts=max_attempts or self.max_attempts,
+            lease_timeout_s=lease_timeout_s or self.lease_timeout_s,
+        )
+        self.jobs[job_id] = job
+        if already_done is not None:
+            for point in points:
+                manifest = already_done(point)
+                if manifest is not None and manifest.get("key") == point.key:
+                    point.state = DONE
+                    self.points_completed += 1
+        return job
+
+    def job(self, job_id: str) -> SweepJob:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise UnknownJob(f"unknown job {job_id!r}") from None
+
+    @property
+    def all_terminal(self) -> bool:
+        """True once jobs exist and none is still running.
+
+        Workers use this as their exit signal: an empty coordinator is
+        *not* terminal (the job may simply not have been submitted
+        yet), so a worker started before the submission waits.
+        """
+        return bool(self.jobs) and all(
+            j.state != "running" for j in self.jobs.values()
+        )
+
+    # -- leasing -----------------------------------------------------
+
+    def lease(
+        self,
+        worker: str,
+        max_points: int = 1,
+        job_id: str | None = None,
+    ) -> tuple[SweepJob, Lease, list[SweepPoint]] | None:
+        """Grant up to ``max_points`` pending points to ``worker``.
+
+        Jobs are drained in submission order (FIFO); a grant never
+        spans jobs.  Returns ``None`` when nothing is pending.
+        """
+        if max_points < 1:
+            raise ValueError(
+                f"max_points: expected a positive integer, got "
+                f"{max_points!r}"
+            )
+        self.expire()
+        candidates: Sequence[SweepJob]
+        if job_id is not None:
+            candidates = (self.job(job_id),)
+        else:
+            candidates = tuple(self.jobs.values())
+        for job in candidates:
+            pending = [p for p in job.points if p.state == PENDING]
+            if not pending:
+                continue
+            batch = pending[:max_points]
+            self._lease_seq += 1
+            lease = Lease(
+                lease_id=f"lease-{self._lease_seq}",
+                job_id=job.job_id,
+                worker=worker,
+                indexes=tuple(p.index for p in batch),
+                deadline=self.clock() + job.lease_timeout_s,
+                lease_timeout_s=job.lease_timeout_s,
+            )
+            for point in batch:
+                point.state = LEASED
+                point.lease_id = lease.lease_id
+                point.attempts += 1
+            self.leases[lease.lease_id] = lease
+            self.leases_granted += 1
+            return job, lease, batch
+        return None
+
+    def _lease(self, lease_id: str) -> Lease:
+        try:
+            return self.leases[lease_id]
+        except KeyError:
+            raise UnknownLease(f"unknown lease {lease_id!r}") from None
+
+    def heartbeat(self, lease_id: str) -> float:
+        """Extend a live lease; returns the new deadline.
+
+        Heartbeating an expired lease raises :class:`ExpiredLease` —
+        the worker learns its points were re-queued and should abandon
+        the batch rather than double-report it.
+        """
+        self.expire()
+        lease = self._lease(lease_id)
+        if not lease.alive:
+            raise ExpiredLease(
+                f"lease {lease_id!r} expired; its points were re-queued"
+            )
+        lease.deadline = self.clock() + lease.lease_timeout_s
+        return lease.deadline
+
+    def expire(self) -> int:
+        """Reap overdue leases, re-queueing or poisoning their points."""
+        now = self.clock()
+        reaped = 0
+        for lease in self.leases.values():
+            if not lease.alive or lease.deadline > now:
+                continue
+            lease.alive = False
+            self.leases_expired += 1
+            reaped += 1
+            job = self.jobs[lease.job_id]
+            for index in lease.indexes:
+                point = job.points[index]
+                if point.state == LEASED and point.lease_id == lease.lease_id:
+                    self._requeue_or_poison(
+                        job, point,
+                        f"lease {lease.lease_id} expired "
+                        f"(worker {lease.worker})",
+                    )
+        return reaped
+
+    def _requeue_or_poison(
+        self, job: SweepJob, point: SweepPoint, error: str
+    ) -> None:
+        point.lease_id = None
+        point.error = error
+        if point.attempts >= job.max_attempts:
+            point.state = POISONED
+            self.points_poisoned += 1
+        else:
+            point.state = PENDING
+
+    # -- completion --------------------------------------------------
+
+    def complete(
+        self, lease_id: str, index: int, manifest: Mapping[str, Any]
+    ) -> SweepPoint:
+        """Accept one point's manifest from the lease holder.
+
+        Validates the manifest against the coordinator's own resolved
+        key for the point (:class:`RejectedManifest` on mismatch —
+        version-skewed worker).  Idempotent, and accepted even after
+        the lease expired: valid finished work is never discarded.
+        """
+        self.expire()
+        lease = self._lease(lease_id)
+        job = self.jobs[lease.job_id]
+        point = self._point(job, lease, index)
+        if manifest.get("spec") != job.spec.name \
+                or manifest.get("key") != point.key:
+            self.manifests_rejected += 1
+            raise RejectedManifest(
+                f"{job.job_id} point {index}: manifest key "
+                f"{manifest.get('key')!r} does not match the expected "
+                f"{point.key!r} — worker code or parameters out of sync "
+                f"with the coordinator"
+            )
+        if point.state != DONE:
+            point.state = DONE
+            point.lease_id = None
+            point.error = None
+            self.points_completed += 1
+        lease.done.add(index)
+        return point
+
+    def fail(self, lease_id: str, index: int, error: str) -> SweepPoint:
+        """Record a worker-reported failure for one leased point."""
+        self.expire()
+        lease = self._lease(lease_id)
+        job = self.jobs[lease.job_id]
+        point = self._point(job, lease, index)
+        if point.state == LEASED and point.lease_id == lease_id:
+            self.points_failed += 1
+            self._requeue_or_poison(job, point, error)
+        return point
+
+    def _point(self, job: SweepJob, lease: Lease, index: int) -> SweepPoint:
+        if index not in lease.indexes:
+            raise QueueError(
+                f"point {index} is not part of lease {lease.lease_id!r} "
+                f"(leased: {list(lease.indexes)})"
+            )
+        return job.points[index]
+
+    # -- monitoring --------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "jobs": len(self.jobs),
+            "leases_granted": self.leases_granted,
+            "leases_expired": self.leases_expired,
+            "points_completed": self.points_completed,
+            "points_failed": self.points_failed,
+            "points_poisoned": self.points_poisoned,
+            "manifests_rejected": self.manifests_rejected,
+        }

@@ -1,0 +1,259 @@
+"""Job hosting for the serve layer: the ``/v1/jobs`` wire handlers.
+
+:class:`JobHost` adapts the pure :class:`~repro.runtime.queue.JobQueue`
+state machine to the HTTP surface: it decodes/encodes the
+:mod:`repro.api` job wire types, expands a submission's sweep axes
+into the deterministic point grid, and ingests uploaded manifests into
+the same content-addressed :class:`~repro.runtime.cache.ResultCache`
+layout a local ``mbs-repro sweep`` writes — which is exactly why
+``--resume``, static ``--shard`` runs, and queue-driven runs all
+interoperate: they are different feeders of one store.
+
+The host is clock-driven lazily: every wire handler first ticks the
+queue (``expire()``), so lease reaping needs no background task —
+workers poll, and polling drives time forward.
+"""
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro import api
+from repro.runtime.cache import ResultCache
+from repro.runtime.queue import DONE, JobQueue, SweepJob, SweepPoint
+from repro.runtime.spec import expand_grid, get_spec
+
+
+def _job_status(job: SweepJob) -> api.SweepJobStatus:
+    counts = job.counts()
+    return api.SweepJobStatus(
+        job_id=job.job_id,
+        artifact=job.spec.name,
+        quick=job.quick,
+        state=job.state,
+        total=len(job.points),
+        pending=counts["pending"],
+        leased=counts["leased"],
+        done=counts["done"],
+        poisoned=counts["poisoned"],
+        max_attempts=job.max_attempts,
+        lease_timeout_s=job.lease_timeout_s,
+    )
+
+
+class JobHost:
+    """One coordinator's queued sweeps, spoken in wire types.
+
+    ``cache=None`` keeps accepted manifests in memory only (tests);
+    with a cache, every accepted manifest is persisted under
+    ``<root>/<spec>/<key>.json`` immediately, and points whose
+    manifests the cache already holds are pre-completed at submission
+    — a queue job over an already-swept grid finishes instantly.
+    """
+
+    def __init__(self, queue: JobQueue | None = None, *,
+                 cache: ResultCache | None = None):
+        self.queue = queue if queue is not None else JobQueue()
+        self.cache = cache
+        #: accepted manifests by task key (authoritative when cache=None)
+        self._manifests: dict[str, dict[str, Any]] = {}
+
+    def tick(self) -> None:
+        self.queue.expire()
+
+    # -- submission / polling ----------------------------------------
+
+    def submit_wire(self, wire: Mapping[str, Any]) -> dict[str, Any]:
+        """``POST /v1/jobs``: enqueue one sweep, return its status."""
+        self.tick()
+        req = api.SweepJobRequest.from_wire(wire)
+        import repro.experiments  # noqa: F401  (populates the registry)
+        try:
+            spec = get_spec(req.artifact)
+        except KeyError as exc:
+            raise ValueError(f"artifact: {exc.args[0]}") from None
+        axes = dict(spec.sweep)
+        if req.axes is not None:
+            axes.update(req.axes)
+
+        def cached(point: SweepPoint) -> dict[str, Any] | None:
+            if self.cache is None:
+                return None
+            return self.cache.lookup(spec.name, point.key)
+
+        try:
+            job = self.queue.submit(
+                spec,
+                expand_grid(axes),
+                quick=req.quick,
+                lease_timeout_s=req.lease_timeout_s,
+                max_attempts=req.max_attempts,
+                already_done=cached,
+            )
+        except KeyError as exc:
+            raise ValueError(f"axes: {exc.args[0]}") from None
+        return _job_status(job).to_wire()
+
+    def job_wire(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/<id>``: one job's status."""
+        self.tick()
+        return _job_status(self.queue.job(job_id)).to_wire()
+
+    def jobs_wire(self) -> dict[str, Any]:
+        """``GET /v1/jobs``: every job's status, submission order."""
+        self.tick()
+        return {
+            "schema": api.SCHEMA_VERSION,
+            "jobs": [
+                _job_status(j).to_wire() for j in self.queue.jobs.values()
+            ],
+        }
+
+    # -- leasing ------------------------------------------------------
+
+    def lease_wire(self, wire: Mapping[str, Any]) -> dict[str, Any]:
+        """``POST /v1/lease``: grant a batch of points, or report done.
+
+        Body: ``{"schema": 1, "worker": "...", "max_points": N,
+        "job": "job-1"?}``.  The response's ``all_done`` tells an idle
+        worker whether to exit (every job terminal) or keep polling
+        (work may still arrive).
+        """
+        if not isinstance(wire, Mapping):
+            raise ValueError(
+                f"lease request must be a JSON object, got "
+                f"{type(wire).__name__}"
+            )
+        schema = wire.get("schema", api.SCHEMA_VERSION)
+        if schema != api.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported lease schema {schema!r}; this build "
+                f"speaks schema {api.SCHEMA_VERSION}"
+            )
+        unknown = set(wire) - {"schema", "worker", "max_points", "job"}
+        if unknown:
+            raise ValueError(
+                f"unknown lease request key(s) {sorted(unknown)}; "
+                f"allowed: ['worker', 'max_points', 'job']"
+            )
+        worker = wire.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise ValueError(
+                f"worker: expected a non-empty worker id, got {worker!r}"
+            )
+        max_points = wire.get("max_points", 1)
+        if not isinstance(max_points, int) or isinstance(max_points, bool) \
+                or max_points < 1:
+            raise ValueError(
+                f"max_points: expected a positive integer, got "
+                f"{max_points!r}"
+            )
+        granted = self.queue.lease(
+            worker, max_points=max_points, job_id=wire.get("job")
+        )
+        if granted is None:
+            return {
+                "schema": api.SCHEMA_VERSION,
+                "lease": None,
+                "all_done": self.queue.all_terminal,
+            }
+        job, lease, points = granted
+        grant = api.LeaseGrant(
+            job_id=job.job_id,
+            lease_id=lease.lease_id,
+            worker=lease.worker,
+            artifact=job.spec.name,
+            quick=job.quick,
+            lease_timeout_s=job.lease_timeout_s,
+            points=tuple(
+                {"index": p.index, "overrides": dict(p.overrides)}
+                for p in points
+            ),
+        )
+        return {
+            "schema": api.SCHEMA_VERSION,
+            "lease": grant.to_wire(),
+            "all_done": False,
+        }
+
+    def heartbeat_wire(self, lease_id: str) -> dict[str, Any]:
+        """``POST /v1/lease/<id>/heartbeat``: extend a live lease."""
+        self.queue.heartbeat(lease_id)
+        return {"schema": api.SCHEMA_VERSION, "ok": True}
+
+    def complete_wire(
+        self, lease_id: str, wire: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """``POST /v1/lease/<id>/complete``: upload one point's manifest."""
+        index = self._point_ref(wire, "manifest")
+        manifest = wire.get("manifest")
+        if not isinstance(manifest, Mapping):
+            raise ValueError(
+                f"manifest: expected a manifest object, got "
+                f"{type(manifest).__name__}"
+            )
+        point = self.queue.complete(lease_id, index, manifest)
+        stored = dict(manifest)
+        self._manifests[point.key] = stored
+        if self.cache is not None:
+            self.cache.store(stored)
+        return {"schema": api.SCHEMA_VERSION, "ok": True, "key": point.key}
+
+    def fail_wire(
+        self, lease_id: str, wire: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """``POST /v1/lease/<id>/fail``: report one point's failure."""
+        index = self._point_ref(wire, "error")
+        error = wire.get("error")
+        if not isinstance(error, str) or not error:
+            raise ValueError(
+                f"error: expected a non-empty message, got {error!r}"
+            )
+        point = self.queue.fail(lease_id, index, error)
+        return {"schema": api.SCHEMA_VERSION, "ok": True,
+                "state": point.state}
+
+    @staticmethod
+    def _point_ref(wire: Mapping[str, Any], payload_key: str) -> int:
+        if not isinstance(wire, Mapping):
+            raise ValueError(
+                f"body must be a JSON object with 'index' and "
+                f"{payload_key!r}, got {type(wire).__name__}"
+            )
+        index = wire.get("index")
+        if not isinstance(index, int) or isinstance(index, bool) \
+                or index < 0:
+            raise ValueError(
+                f"index: expected a non-negative point index, got "
+                f"{index!r}"
+            )
+        return index
+
+    # -- results ------------------------------------------------------
+
+    def manifests_wire(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/<id>/manifests``: every completed manifest.
+
+        Manifests come back in grid order — the same enumeration a
+        single-process sweep would produce — so a dump of them is
+        byte-comparable via ``mbs-repro merge --check``.
+        """
+        self.tick()
+        job = self.queue.job(job_id)
+        manifests = []
+        for point in job.points:
+            if point.state != DONE:
+                continue
+            manifest = self._manifests.get(point.key)
+            if manifest is None and self.cache is not None:
+                manifest = self.cache.lookup(job.spec.name, point.key)
+            if manifest is not None:
+                manifests.append(manifest)
+        return {
+            "schema": api.SCHEMA_VERSION,
+            "job": _job_status(job).to_wire(),
+            "manifests": manifests,
+        }
+
+    def stats_wire(self) -> dict[str, int]:
+        """The ``jobs`` section of ``GET /v1/stats``."""
+        return self.queue.stats()

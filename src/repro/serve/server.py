@@ -12,15 +12,26 @@ Routes::
     GET  /healthz        -> {"ok": true}
     GET  /v1/policies    -> {"schema": 1, "policies": [...]}
     GET  /v1/objectives  -> {"schema": 1, "objectives": [...]}
-    GET  /v1/stats       -> engine counters
+    GET  /v1/stats       -> engine counters (+ queue counters)
     POST /v1/schedule    -> {"schema": 1, "cached": ..., "deduped": ...,
                              "degraded": ..., "result": <ScheduleResult>}
+    POST /v1/jobs        -> submit a SweepJobRequest; SweepJobStatus back
+    GET  /v1/jobs        -> every job's SweepJobStatus
+    GET  /v1/jobs/<id>   -> one job's SweepJobStatus
+    GET  /v1/jobs/<id>/manifests    -> completed manifests, grid order
+    POST /v1/lease                  -> lease points (LeaseGrant or null)
+    POST /v1/lease/<id>/heartbeat   -> extend a live lease
+    POST /v1/lease/<id>/complete    -> upload one point's manifest
+    POST /v1/lease/<id>/fail        -> report one point's failure
 
 ``POST /v1/schedule`` accepts a :class:`~repro.api.ScheduleRequest`
 wire object (``{"schema": 1, "network": "resnet50", ...}`` or an
 inline ``"graph"`` envelope from :mod:`repro.graph.serialize`).
 Malformed JSON or a request the schema rejects is a 400 with an
-``{"error": ...}`` body, never a connection drop.
+``{"error": ...}`` body, never a connection drop.  The job surface
+(:mod:`repro.serve.jobs`) adds 404 for unknown job/lease ids and 409
+for protocol conflicts — an expired lease heartbeat, or an uploaded
+manifest whose content address disagrees with the coordinator's.
 """
 from __future__ import annotations
 
@@ -30,7 +41,14 @@ from typing import Any
 
 from repro import api
 from repro.graph.serialize import GraphSchemaError
+from repro.runtime.queue import (
+    ExpiredLease,
+    RejectedManifest,
+    UnknownJob,
+    UnknownLease,
+)
 from repro.serve.engine import ScheduleEngine
+from repro.serve.jobs import JobHost
 
 #: Largest accepted request body; an inline inception_v4 graph is
 #: ~100 KiB, so this is ~80x headroom, not a real ceiling.
@@ -46,17 +64,23 @@ class _BadRequest(Exception):
 
 _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    500: "Internal Server Error",
+    405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 500: "Internal Server Error",
 }
 
 
 class Server:
-    """One listening socket in front of one :class:`ScheduleEngine`."""
+    """One listening socket in front of one :class:`ScheduleEngine`.
+
+    ``jobs`` optionally attaches a :class:`~repro.serve.jobs.JobHost`;
+    without one the ``/v1/jobs`` and ``/v1/lease`` routes answer 404.
+    """
 
     def __init__(self, engine: ScheduleEngine, *,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 jobs: JobHost | None = None):
         self.engine = engine
+        self.jobs = jobs
         self.host = host
         self.port = port
         self._server: asyncio.AbstractServer | None = None
@@ -177,13 +201,93 @@ class Server:
         if path == "/v1/stats":
             if method != "GET":
                 return 405, {"error": "use GET"}
-            return 200, {"schema": api.SCHEMA_VERSION,
-                         **self.engine.stats.to_wire()}
+            payload = {"schema": api.SCHEMA_VERSION,
+                       **self.engine.stats.to_wire()}
+            if self.jobs is not None:
+                self.jobs.tick()
+                payload["jobs"] = self.jobs.stats_wire()
+            return 200, payload
         if path == "/v1/schedule":
             if method != "POST":
                 return 405, {"error": "use POST"}
             return await self._schedule(body)
+        if path == "/v1/jobs" or path.startswith("/v1/jobs/") \
+                or path == "/v1/lease" or path.startswith("/v1/lease/"):
+            return self._jobs_route(method, path, body)
         return 404, {"error": f"no such path: {path}"}
+
+    # -- the job/lease surface -----------------------------------------
+
+    def _jobs_route(self, method: str, path: str,
+                    body: bytes) -> tuple[int, dict[str, Any]]:
+        """Map queue protocol errors onto HTTP statuses.
+
+        Unknown job/lease ids are 404; an expired lease or a manifest
+        whose content address disagrees with the coordinator's is 409
+        (the worker must re-lease, not retry); everything else the
+        wire schema rejects is a 400 with a path-qualified message.
+        """
+        if self.jobs is None:
+            return 404, {"error": "job hosting is not enabled; start "
+                                  "the server via `mbs-repro serve`"}
+        try:
+            return self._jobs_dispatch(method, path, body)
+        except (UnknownJob, UnknownLease) as exc:
+            return 404, {"error": str(exc)}
+        except (ExpiredLease, RejectedManifest) as exc:
+            return 409, {"error": str(exc)}
+        except (ValueError, KeyError, TypeError) as exc:
+            return 400, {"error": str(exc)}
+
+    def _jobs_dispatch(self, method: str, path: str,
+                       body: bytes) -> tuple[int, dict[str, Any]]:
+        assert self.jobs is not None
+        parts = path.strip("/").split("/")
+        if parts[:2] == ["v1", "jobs"]:
+            if len(parts) == 2:
+                if method == "POST":
+                    return 200, self.jobs.submit_wire(self._json(body))
+                if method == "GET":
+                    return 200, self.jobs.jobs_wire()
+                return 405, {"error": "use GET or POST"}
+            if len(parts) == 3:
+                if method != "GET":
+                    return 405, {"error": "use GET"}
+                return 200, self.jobs.job_wire(parts[2])
+            if len(parts) == 4 and parts[3] == "manifests":
+                if method != "GET":
+                    return 405, {"error": "use GET"}
+                return 200, self.jobs.manifests_wire(parts[2])
+        elif parts[:2] == ["v1", "lease"]:
+            if len(parts) == 2:
+                if method != "POST":
+                    return 405, {"error": "use POST"}
+                return 200, self.jobs.lease_wire(self._json(body))
+            if len(parts) == 4 and parts[3] in ("heartbeat", "complete",
+                                                "fail"):
+                if method != "POST":
+                    return 405, {"error": "use POST"}
+                lease_id = parts[2]
+                if parts[3] == "heartbeat":
+                    return 200, self.jobs.heartbeat_wire(lease_id)
+                if parts[3] == "complete":
+                    return 200, self.jobs.complete_wire(
+                        lease_id, self._json(body)
+                    )
+                return 200, self.jobs.fail_wire(lease_id, self._json(body))
+        return 404, {"error": f"no such path: {path}"}
+
+    @staticmethod
+    def _json(body: bytes) -> dict[str, Any]:
+        try:
+            wire = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"request body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(wire, dict):
+            raise ValueError("request body must be a JSON object")
+        return wire
 
     async def _schedule(self, body: bytes) -> tuple[int, dict[str, Any]]:
         try:
@@ -234,17 +338,26 @@ async def run_server(
     cache=None,
     cache_max_entries: int | None = None,
     cache_max_bytes: int | None = None,
+    lease_timeout_s: float = 60.0,
+    max_attempts: int = 3,
 ) -> None:
     """Entry point behind ``mbs-repro serve``: run until cancelled."""
+    from repro.runtime.queue import JobQueue
+
     engine = ScheduleEngine(cache=cache, workers=workers,
                             timeout_s=timeout_s, max_pending=max_pending,
                             cache_max_entries=cache_max_entries,
                             cache_max_bytes=cache_max_bytes)
-    server = Server(engine, host=host, port=port)
+    jobs = JobHost(
+        JobQueue(lease_timeout_s=lease_timeout_s, max_attempts=max_attempts),
+        cache=cache,
+    )
+    server = Server(engine, host=host, port=port, jobs=jobs)
     await server.start()
     print(f"mbs-repro serve: listening on http://{server.host}:{server.port}")
     print("POST /v1/schedule with a ScheduleRequest wire object; "
-          "GET /healthz, /v1/policies, /v1/objectives, /v1/stats")
+          "GET /healthz, /v1/policies, /v1/objectives, /v1/stats; "
+          "POST /v1/jobs + mbs-repro work for queued sweeps")
     try:
         await server.serve_forever()
     except asyncio.CancelledError:

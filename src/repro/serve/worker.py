@@ -1,0 +1,263 @@
+"""The sweep worker: lease points from a coordinator, compute, upload.
+
+``mbs-repro work --coordinator URL`` runs :func:`work_loop` — the
+client half of the ``/v1/jobs`` queue protocol:
+
+1. ``POST /v1/lease`` for a batch of points (``None`` + ``all_done``
+   means exit; ``None`` alone means poll again — a job may not have
+   been submitted yet);
+2. compute the batch through the ordinary
+   :func:`~repro.runtime.pool.run_tasks` engine (so a worker benefits
+   from its local content-addressed cache exactly like ``sweep``);
+3. heartbeat from a daemon thread while computing, so a long point
+   does not expire the lease;
+4. upload each point's manifest (``complete``) or traceback (``fail``)
+   as it finishes.
+
+A 409 on upload means the coordinator moved on without us — the lease
+expired and the point was re-queued or poisoned, or our code is
+version-skewed and the manifest's content address is wrong.  Either
+way the worker logs it and keeps draining; it never crashes on a
+coordinator-side decision.
+"""
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import threading
+import time
+import urllib.parse
+from typing import Any, Callable, Mapping
+
+from repro import api
+from repro.runtime.cache import ResultCache
+from repro.runtime.pool import Task, TaskResult, run_tasks
+from repro.runtime.queue import format_point_line
+from repro.runtime.spec import get_spec
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class CoordinatorError(Exception):
+    """An HTTP error from the coordinator, with its status attached."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"coordinator returned {status}: {message}")
+        self.status = status
+
+
+class CoordinatorClient:
+    """Blocking JSON client for the coordinator's job/lease surface.
+
+    One connection per request (stdlib ``http.client``), so a client
+    object is safe to share across threads — the heartbeat thread and
+    the main loop both use one.
+    """
+
+    def __init__(self, base_url: str, *, timeout_s: float = 10.0):
+        parts = urllib.parse.urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(
+                f"coordinator: expected an http:// URL, got {base_url!r}"
+            )
+        netloc = parts.netloc or parts.path  # tolerate "host:port"
+        host, _, port = netloc.partition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port) if port else 8787
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str,
+                 body: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload \
+                else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read().decode("utf-8", "replace")
+        finally:
+            conn.close()
+        try:
+            wire = json.loads(data)
+        except json.JSONDecodeError:
+            wire = {"error": data.strip() or "(empty body)"}
+        if resp.status != 200:
+            raise CoordinatorError(
+                resp.status, wire.get("error", data.strip())
+            )
+        return wire
+
+    # -- typed surface -----------------------------------------------
+
+    def healthy(self) -> bool:
+        try:
+            return self._request("GET", "/healthz").get("ok") is True
+        except (OSError, CoordinatorError):
+            return False
+
+    def submit(self, request: api.SweepJobRequest) -> api.SweepJobStatus:
+        wire = self._request("POST", "/v1/jobs", request.to_wire())
+        return api.SweepJobStatus.from_wire(wire)
+
+    def job(self, job_id: str) -> api.SweepJobStatus:
+        return api.SweepJobStatus.from_wire(
+            self._request("GET", f"/v1/jobs/{job_id}")
+        )
+
+    def jobs(self) -> list[api.SweepJobStatus]:
+        wire = self._request("GET", "/v1/jobs")
+        return [api.SweepJobStatus.from_wire(j) for j in wire["jobs"]]
+
+    def lease(self, worker: str, max_points: int = 1,
+              job_id: str | None = None,
+              ) -> tuple[api.LeaseGrant | None, bool]:
+        body: dict[str, Any] = {
+            "schema": api.SCHEMA_VERSION,
+            "worker": worker,
+            "max_points": max_points,
+        }
+        if job_id is not None:
+            body["job"] = job_id
+        wire = self._request("POST", "/v1/lease", body)
+        grant = wire.get("lease")
+        return (
+            api.LeaseGrant.from_wire(grant) if grant is not None else None,
+            bool(wire.get("all_done")),
+        )
+
+    def heartbeat(self, lease_id: str) -> None:
+        self._request("POST", f"/v1/lease/{lease_id}/heartbeat",
+                      {"schema": api.SCHEMA_VERSION})
+
+    def complete(self, lease_id: str, index: int,
+                 manifest: Mapping[str, Any]) -> None:
+        self._request("POST", f"/v1/lease/{lease_id}/complete",
+                      {"schema": api.SCHEMA_VERSION, "index": index,
+                       "manifest": dict(manifest)})
+
+    def fail(self, lease_id: str, index: int, error: str) -> None:
+        self._request("POST", f"/v1/lease/{lease_id}/fail",
+                      {"schema": api.SCHEMA_VERSION, "index": index,
+                       "error": error})
+
+    def manifests(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/manifests")
+
+
+class _Heartbeat:
+    """Daemon thread extending one lease while its batch computes."""
+
+    def __init__(self, client: CoordinatorClient, lease_id: str,
+                 interval_s: float):
+        self._client = client
+        self._lease_id = lease_id
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval_s + 1.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                self._client.heartbeat(self._lease_id)
+            except (OSError, CoordinatorError):
+                # An expired/unknown lease (409/404) or a network blip:
+                # uploads will surface the real story; stop beating.
+                return
+
+
+def work_loop(
+    client: CoordinatorClient,
+    *,
+    worker: str | None = None,
+    jobs: int = 1,
+    batch: int | None = None,
+    poll_s: float = 1.0,
+    cache: ResultCache | None = None,
+    use_cache: bool = True,
+    timeout_s: float | None = None,
+    stall_s: float = 0.0,
+    max_leases: int | None = None,
+    log: Callable[[str], None] = print,
+) -> int:
+    """Drain the coordinator; returns the number of points uploaded.
+
+    ``batch`` points are leased at a time (default: ``jobs``, so the
+    local pool stays full).  ``stall_s`` sleeps after each grant
+    *before* computing — a fault-injection hook the kill tests use to
+    hold a lease open while the worker dies.  ``max_leases`` bounds
+    the number of grants (None = until every job is terminal).
+    """
+    worker = worker or default_worker_id()
+    uploaded = 0
+    granted = 0
+    while max_leases is None or granted < max_leases:
+        grant, all_done = client.lease(
+            worker, max_points=batch if batch is not None else max(jobs, 1)
+        )
+        if grant is None:
+            if all_done:
+                break
+            time.sleep(poll_s)
+            continue
+        granted += 1
+        log(f"{worker}: {grant.describe()}")
+        if stall_s > 0:
+            time.sleep(stall_s)
+        spec = get_spec(grant.artifact)
+        tasks = [
+            Task(spec, dict(p["overrides"]), quick=grant.quick)
+            for p in grant.points
+        ]
+        index_of = {
+            id(task): p["index"] for task, p in zip(tasks, grant.points)
+        }
+        uploads = {"n": 0}
+
+        def upload(task: Task, result: TaskResult,
+                   _lease_id=grant.lease_id, _index_of=index_of,
+                   _uploads=uploads) -> None:
+            index = _index_of[id(task)]
+            status = result.status
+            try:
+                if result.ok:
+                    client.complete(_lease_id, index, result.manifest)
+                    _uploads["n"] += 1
+                else:
+                    client.fail(
+                        _lease_id, index,
+                        result.error or f"task {status} with no detail",
+                    )
+                    status = "failed"
+            except CoordinatorError as exc:
+                # 409: the lease expired under us or our code is
+                # version-skewed; 404: the coordinator restarted.
+                # Either way this point is no longer ours to report.
+                status = "dropped"
+                log(f"{worker}: point {index} not accepted: {exc}")
+            log(format_point_line(result.spec_name, task.overrides, status))
+
+        with _Heartbeat(client, grant.lease_id,
+                        interval_s=grant.lease_timeout_s / 3.0):
+            run_tasks(
+                tasks, jobs=jobs, cache=cache, use_cache=use_cache,
+                timeout_s=timeout_s, on_result=upload,
+            )
+        uploaded += uploads["n"]
+    log(f"{worker}: done — {uploaded} point(s) uploaded over "
+        f"{granted} lease(s)")
+    return uploaded

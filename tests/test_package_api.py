@@ -22,9 +22,12 @@ def test_api_facade_surface_is_pinned():
 
     assert api.__all__ == [
         "GroupSummary",
+        "LeaseGrant",
         "MIB",
         "ScheduleRequest",
         "ScheduleResult",
+        "SweepJobRequest",
+        "SweepJobStatus",
         "objectives",
         "policies",
         "price",

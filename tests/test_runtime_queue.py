@@ -1,0 +1,353 @@
+"""Work-queue state machine: leases, expiry, retries, quarantine.
+
+Everything here drives :class:`repro.runtime.queue.JobQueue` directly
+with a fake clock — no HTTP, no threads, no sleeps — so the timing
+semantics (lease deadlines, heartbeat extension, poison after
+``max_attempts``) are asserted deterministically.
+"""
+
+import pytest
+
+from repro.runtime.cache import spec_fingerprint, task_key
+from repro.runtime.queue import (
+    DONE,
+    LEASED,
+    PENDING,
+    POISONED,
+    ExpiredLease,
+    JobQueue,
+    RejectedManifest,
+    UnknownJob,
+    UnknownLease,
+    format_point_line,
+    point_label,
+)
+from repro.runtime.spec import ExperimentSpec, expand_grid
+
+
+def _produce(x=0, y=1):
+    return {"value": x * 10 + y}
+
+
+SPEC = ExperimentSpec(
+    name="qtest",
+    title="queue test spec",
+    produce=_produce,
+    sweep={"x": (0, 1), "y": (1, 2)},
+    artifact=("value",),
+)
+
+GRID = expand_grid(SPEC.sweep)  # 4 points, deterministic order
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_queue(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("lease_timeout_s", 10.0)
+    kwargs.setdefault("max_attempts", 3)
+    return JobQueue(clock=clock, **kwargs), clock
+
+
+def manifest_for(point):
+    return {
+        "spec": SPEC.name,
+        "version": SPEC.version,
+        "key": point.key,
+        "fingerprint": spec_fingerprint(SPEC),
+        "params": point.params,
+        "artifact": _produce(**point.params),
+        "rendered": "",
+    }
+
+
+class TestSubmit:
+    def test_grid_points_resolved_in_order_with_task_keys(self):
+        queue, _ = make_queue()
+        job = queue.submit(SPEC, GRID)
+        assert [p.overrides for p in job.points] == GRID
+        for point in job.points:
+            assert point.params == SPEC.resolve_params(point.overrides)
+            assert point.key == task_key(SPEC, point.params)
+            assert point.state == PENDING
+        assert job.state == "running"
+        assert job.counts() == {"pending": 4, "leased": 0, "done": 0,
+                                "poisoned": 0}
+
+    def test_already_done_pre_completes_points(self):
+        queue, _ = make_queue()
+        done_keys = {task_key(SPEC, SPEC.resolve_params(GRID[0])),
+                     task_key(SPEC, SPEC.resolve_params(GRID[2]))}
+
+        def lookup(point):
+            if point.key in done_keys:
+                return {"spec": SPEC.name, "key": point.key}
+            return None
+
+        job = queue.submit(SPEC, GRID, already_done=lookup)
+        assert job.counts()["done"] == 2
+        assert queue.points_completed == 2
+
+    def test_already_done_rejects_key_mismatch(self):
+        queue, _ = make_queue()
+        job = queue.submit(
+            SPEC, GRID,
+            already_done=lambda p: {"spec": SPEC.name, "key": "stale"},
+        )
+        assert job.counts()["done"] == 0
+
+    def test_unknown_override_raises(self):
+        queue, _ = make_queue()
+        with pytest.raises(KeyError):
+            queue.submit(SPEC, [{"nope": 1}])
+
+    def test_unknown_job(self):
+        queue, _ = make_queue()
+        with pytest.raises(UnknownJob):
+            queue.job("job-404")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="lease_timeout_s"):
+            JobQueue(lease_timeout_s=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            JobQueue(max_attempts=0)
+
+
+class TestLease:
+    def test_grant_marks_points_and_counts_attempts(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID)
+        job, lease, points = queue.lease("w1", max_points=2)
+        assert [p.index for p in points] == [0, 1]
+        assert all(p.state == LEASED for p in points)
+        assert all(p.attempts == 1 for p in points)
+        assert lease.indexes == (0, 1)
+        assert queue.leases_granted == 1
+
+    def test_batches_never_overlap(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID)
+        _, _, batch1 = queue.lease("w1", max_points=3)
+        _, _, batch2 = queue.lease("w2", max_points=3)
+        assert {p.index for p in batch1} == {0, 1, 2}
+        assert {p.index for p in batch2} == {3}
+        assert queue.lease("w3") is None
+
+    def test_fifo_across_jobs(self):
+        queue, _ = make_queue()
+        first = queue.submit(SPEC, GRID[:1])
+        second = queue.submit(SPEC, GRID[1:2])
+        job, _, _ = queue.lease("w1")
+        assert job.job_id == first.job_id
+        job, _, _ = queue.lease("w1")
+        assert job.job_id == second.job_id
+
+    def test_lease_pinned_to_one_job(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID[:1])
+        second = queue.submit(SPEC, GRID[1:3])
+        job, _, points = queue.lease("w1", max_points=5,
+                                     job_id=second.job_id)
+        assert job.job_id == second.job_id
+        assert len(points) == 2
+
+    def test_max_points_validation(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID)
+        with pytest.raises(ValueError, match="max_points"):
+            queue.lease("w1", max_points=0)
+
+
+class TestExpiry:
+    def test_expired_lease_requeues_points(self):
+        queue, clock = make_queue(lease_timeout_s=10.0)
+        queue.submit(SPEC, GRID)
+        _, lease, points = queue.lease("w1", max_points=4)
+        clock.advance(10.5)
+        assert queue.expire() == 1
+        assert all(p.state == PENDING for p in points)
+        assert all(p.attempts == 1 for p in points)
+        assert queue.leases_expired == 1
+        # the re-queued points are leasable again, attempts now 2
+        _, _, again = queue.lease("w2", max_points=4)
+        assert [p.index for p in again] == [0, 1, 2, 3]
+        assert all(p.attempts == 2 for p in again)
+
+    def test_heartbeat_extends_deadline(self):
+        queue, clock = make_queue(lease_timeout_s=10.0)
+        queue.submit(SPEC, GRID)
+        _, lease, points = queue.lease("w1", max_points=4)
+        for _ in range(5):
+            clock.advance(8.0)
+            queue.heartbeat(lease.lease_id)
+        clock.advance(8.0)  # 48s of work, never a 10s gap
+        queue.expire()
+        assert all(p.state == LEASED for p in points)
+
+    def test_heartbeat_after_expiry_raises(self):
+        queue, clock = make_queue(lease_timeout_s=10.0)
+        queue.submit(SPEC, GRID)
+        _, lease, _ = queue.lease("w1")
+        clock.advance(11.0)
+        with pytest.raises(ExpiredLease):
+            queue.heartbeat(lease.lease_id)
+
+    def test_unknown_lease_raises(self):
+        queue, _ = make_queue()
+        with pytest.raises(UnknownLease):
+            queue.heartbeat("lease-404")
+
+    def test_lease_drives_expiry_lazily(self):
+        # no explicit expire() call: the next lease() request reaps
+        queue, clock = make_queue(lease_timeout_s=10.0)
+        queue.submit(SPEC, GRID[:1])
+        queue.lease("w1")
+        clock.advance(11.0)
+        job, lease, points = queue.lease("w2")
+        assert lease.worker == "w2"
+        assert points[0].attempts == 2
+
+
+class TestRetryAndPoison:
+    def test_point_poisoned_after_max_attempts_expiries(self):
+        queue, clock = make_queue(lease_timeout_s=10.0, max_attempts=3)
+        job = queue.submit(SPEC, GRID[:1])
+        for attempt in range(3):
+            granted = queue.lease("w1")
+            assert granted is not None, f"attempt {attempt} not leasable"
+            clock.advance(11.0)
+            queue.expire()
+        point = job.points[0]
+        assert point.state == POISONED
+        assert point.attempts == 3
+        assert "expired" in point.error
+        assert queue.lease("w1") is None
+        assert queue.points_poisoned == 1
+        assert job.state == "failed"
+        assert queue.all_terminal
+
+    def test_worker_reported_failure_requeues_then_poisons(self):
+        queue, _ = make_queue(max_attempts=2)
+        job = queue.submit(SPEC, GRID[:1])
+        _, lease, _ = queue.lease("w1")
+        queue.fail(lease.lease_id, 0, "boom")
+        assert job.points[0].state == PENDING
+        assert job.points[0].error == "boom"
+        _, lease, _ = queue.lease("w1")
+        queue.fail(lease.lease_id, 0, "boom again")
+        assert job.points[0].state == POISONED
+        assert queue.points_failed == 2
+        assert job.state == "failed"
+
+    def test_per_job_max_attempts_overrides_default(self):
+        queue, _ = make_queue(max_attempts=3)
+        job = queue.submit(SPEC, GRID[:1], max_attempts=1)
+        _, lease, _ = queue.lease("w1")
+        queue.fail(lease.lease_id, 0, "boom")
+        assert job.points[0].state == POISONED
+
+    def test_fail_is_noop_after_expiry_reassignment(self):
+        # worker A's late failure report must not clobber worker B's
+        # live lease on the same point
+        queue, clock = make_queue(lease_timeout_s=10.0)
+        job = queue.submit(SPEC, GRID[:1])
+        _, lease_a, _ = queue.lease("wA")
+        clock.advance(11.0)
+        _, lease_b, _ = queue.lease("wB")
+        queue.fail(lease_a.lease_id, 0, "late report")
+        assert job.points[0].state == LEASED
+        assert job.points[0].lease_id == lease_b.lease_id
+
+
+class TestComplete:
+    def test_complete_marks_done(self):
+        queue, _ = make_queue()
+        job = queue.submit(SPEC, GRID[:1])
+        _, lease, points = queue.lease("w1")
+        point = queue.complete(lease.lease_id, 0, manifest_for(points[0]))
+        assert point.state == DONE
+        assert queue.points_completed == 1
+        assert job.state == "done"
+        assert queue.all_terminal
+
+    def test_complete_is_idempotent(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID[:1])
+        _, lease, points = queue.lease("w1")
+        queue.complete(lease.lease_id, 0, manifest_for(points[0]))
+        queue.complete(lease.lease_id, 0, manifest_for(points[0]))
+        assert queue.points_completed == 1
+
+    def test_late_complete_after_expiry_is_accepted(self):
+        # valid finished work is never discarded: the manifest lands
+        # even though the lease expired and the point was re-queued
+        queue, clock = make_queue(lease_timeout_s=10.0)
+        job = queue.submit(SPEC, GRID[:1])
+        _, lease, points = queue.lease("w1")
+        clock.advance(11.0)
+        queue.expire()
+        assert job.points[0].state == PENDING
+        point = queue.complete(lease.lease_id, 0, manifest_for(points[0]))
+        assert point.state == DONE
+
+    def test_key_mismatch_rejected(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID[:1])
+        _, lease, points = queue.lease("w1")
+        bad = dict(manifest_for(points[0]), key="0" * 24)
+        with pytest.raises(RejectedManifest, match="out of sync"):
+            queue.complete(lease.lease_id, 0, bad)
+        assert queue.manifests_rejected == 1
+        assert points[0].state == LEASED
+
+    def test_wrong_spec_rejected(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID[:1])
+        _, lease, points = queue.lease("w1")
+        bad = dict(manifest_for(points[0]), spec="other")
+        with pytest.raises(RejectedManifest):
+            queue.complete(lease.lease_id, 0, bad)
+
+    def test_index_outside_lease_rejected(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID)
+        _, lease, points = queue.lease("w1", max_points=1)
+        with pytest.raises(ValueError, match="not part of lease"):
+            queue.complete(lease.lease_id, 3, manifest_for(points[0]))
+
+
+class TestTerminalStates:
+    def test_empty_queue_is_not_terminal(self):
+        queue, _ = make_queue()
+        assert not queue.all_terminal
+
+    def test_stats_shape(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID)
+        stats = queue.stats()
+        assert stats == {
+            "jobs": 1, "leases_granted": 0, "leases_expired": 0,
+            "points_completed": 0, "points_failed": 0,
+            "points_poisoned": 0, "manifests_rejected": 0,
+        }
+
+
+class TestPointFormatting:
+    def test_point_label_insertion_order(self):
+        assert point_label({"b": 2, "a": "x"}) == "b=2, a='x'"
+        assert point_label({}) == "(base)"
+
+    def test_format_point_line_statuses_align(self):
+        ran = format_point_line("fig3", {"x": 1}, "ran")
+        skipped = format_point_line("fig3", {"x": 1}, "skipped")
+        assert ran == "  [    ran] fig3: x=1"
+        assert skipped == "  [skipped] fig3: x=1"

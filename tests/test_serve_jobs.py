@@ -1,0 +1,591 @@
+"""The distributed sweep queue: wire types, HTTP surface, e2e matrix.
+
+Three layers of coverage:
+
+* the :mod:`repro.api` job wire types (codec round trips, schema
+  envelope, path-qualified rejection messages);
+* the ``/v1/jobs`` + ``/v1/lease`` HTTP surface over a live socket
+  (400/404/409 mapping, stats, coordinator-cache interop);
+* the acceptance matrix — a 2-worker queue-driven sweep with one
+  worker SIGKILLed mid-lease, whose merged manifest dump must be
+  **byte-identical** to a single-process ``mbs-repro sweep`` run
+  (``merge --check``).
+"""
+
+import asyncio
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.experiments.runner import main
+from repro.runtime.cache import ResultCache
+from repro.runtime.queue import JobQueue
+from repro.serve import (
+    CoordinatorClient,
+    CoordinatorError,
+    JobHost,
+    ScheduleEngine,
+    Server,
+    work_loop,
+)
+
+GRID_SETS = ["--set", "net_name='resnet50'", "--set", "mini_batch=16,32",
+             "--set", "buffer_mib=5,10"]
+GRID_AXES = {"net_name": ["resnet50"], "mini_batch": [16, 32],
+             "buffer_mib": [5, 10]}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------------
+# wire types
+# ---------------------------------------------------------------------------
+
+class TestSweepJobRequestWire:
+    def test_round_trip(self):
+        req = api.SweepJobRequest(artifact="fig3", axes=GRID_AXES,
+                                  quick=True, max_attempts=2,
+                                  lease_timeout_s=5.0)
+        wire = req.to_wire()
+        assert wire["schema"] == api.SCHEMA_VERSION
+        back = api.SweepJobRequest.from_wire(wire)
+        assert back.artifact == "fig3"
+        assert back.axes == {k: list(v) for k, v in GRID_AXES.items()}
+        assert back.quick and back.max_attempts == 2
+        assert back.lease_timeout_s == 5.0
+
+    def test_none_fields_omitted_from_wire(self):
+        wire = api.SweepJobRequest(artifact="fig3").to_wire()
+        assert wire == {"schema": 1, "artifact": "fig3", "quick": False}
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            api.SweepJobRequest.from_wire({"schema": 9, "artifact": "a"})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown job request key"):
+            api.SweepJobRequest.from_wire(
+                {"schema": 1, "artifact": "a", "axis": {}})
+
+    @pytest.mark.parametrize("wire,needle", [
+        ({"artifact": ""}, "artifact:"),
+        ({"artifact": "a", "axes": {"mini_batch": 5}}, "axes.mini_batch:"),
+        ({"artifact": "a", "axes": {"mini_batch": []}}, "axes.mini_batch:"),
+        ({"artifact": "a", "axes": {"x": "abc"}}, "axes.x:"),
+        ({"artifact": "a", "max_attempts": 0}, "max_attempts:"),
+        ({"artifact": "a", "lease_timeout_s": -1}, "lease_timeout_s:"),
+        ({"artifact": "a", "quick": 1}, "quick:"),
+    ])
+    def test_path_qualified_rejections(self, wire, needle):
+        with pytest.raises(ValueError, match=needle):
+            api.SweepJobRequest.from_wire({"schema": 1, **wire})
+
+    def test_describe(self):
+        req = api.SweepJobRequest(artifact="fig3", axes=GRID_AXES)
+        assert "fig3" in req.describe()
+        assert "mini_batch[2]" in req.describe()
+        assert "default sweep axes" in api.SweepJobRequest(
+            artifact="fig3").describe()
+
+
+class TestLeaseGrantWire:
+    def test_round_trip(self):
+        grant = api.LeaseGrant(
+            job_id="job-1", lease_id="lease-1", worker="w1",
+            artifact="fig3", quick=True, lease_timeout_s=30.0,
+            points=({"index": 0, "overrides": {"mini_batch": 16}},),
+        )
+        back = api.LeaseGrant.from_wire(grant.to_wire())
+        assert back == grant
+        assert "lease-1" in grant.describe()
+        assert "1 point(s)" in grant.describe()
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="missing key"):
+            api.LeaseGrant.from_wire({"job_id": "job-1"})
+
+    def test_bad_point_rejected(self):
+        wire = api.LeaseGrant(
+            job_id="j", lease_id="l", worker="w", artifact="a",
+            quick=False, lease_timeout_s=1.0,
+            points=({"index": 0, "overrides": {}},),
+        ).to_wire()
+        wire["points"] = [{"index": -1, "overrides": {}}]
+        with pytest.raises(ValueError, match=r"points\[0\].index"):
+            api.LeaseGrant.from_wire(wire)
+
+
+class TestSweepJobStatusWire:
+    def test_round_trip_and_describe(self):
+        status = api.SweepJobStatus(
+            job_id="job-1", artifact="fig3", quick=False, state="running",
+            total=8, pending=4, leased=1, done=3, poisoned=0,
+            max_attempts=3, lease_timeout_s=60.0,
+        )
+        assert api.SweepJobStatus.from_wire(status.to_wire()) == status
+        text = status.describe()
+        assert "job-1" in text and "[running]" in text and "3/8" in text
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="missing key"):
+            api.SweepJobStatus.from_wire({"schema": 1, "job_id": "j"})
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface (live socket, in-process host)
+# ---------------------------------------------------------------------------
+
+def _get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read().decode())
+    finally:
+        conn.close()
+
+
+def _post(port, path, body):
+    text = body if isinstance(body, str) else json.dumps(body)
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("POST", path, body=text,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read().decode())
+    finally:
+        conn.close()
+
+
+class _Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+async def _with_jobs_server(fn, *, cache=None, clock=None,
+                            lease_timeout_s=30.0, max_attempts=3):
+    kwargs = {"clock": clock} if clock is not None else {}
+    host = JobHost(
+        JobQueue(lease_timeout_s=lease_timeout_s,
+                 max_attempts=max_attempts, **kwargs),
+        cache=cache,
+    )
+    server = Server(ScheduleEngine(workers=0), jobs=host)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    try:
+        return await loop.run_in_executor(
+            None, fn, server.port, host
+        )
+    finally:
+        await server.aclose()
+
+
+def _submit_wire(**over):
+    wire = {"schema": 1, "artifact": "fig3", "axes": GRID_AXES,
+            "quick": True}
+    wire.update(over)
+    return wire
+
+
+class TestJobsHttp:
+    def test_submit_and_poll(self):
+        def fn(port, host):
+            st, job = _post(port, "/v1/jobs", _submit_wire())
+            assert st == 200
+            listing = _get(port, "/v1/jobs")
+            single = _get(port, f"/v1/jobs/{job['job_id']}")
+            return job, listing, single
+
+        job, (st_l, listing), (st_s, single) = run(_with_jobs_server(fn))
+        assert job["state"] == "running"
+        assert job["total"] == 4 and job["pending"] == 4
+        assert st_l == 200 and listing["jobs"] == [single]
+        assert st_s == 200
+
+    def test_submit_unknown_artifact_400_path_qualified(self):
+        def fn(port, host):
+            return _post(port, "/v1/jobs",
+                         _submit_wire(artifact="nope"))
+
+        status, body = run(_with_jobs_server(fn))
+        assert status == 400
+        assert body["error"].startswith("artifact:")
+
+    def test_submit_malformed_axes_400_path_qualified(self):
+        def fn(port, host):
+            return _post(port, "/v1/jobs",
+                         _submit_wire(axes={"mini_batch": 5}))
+
+        status, body = run(_with_jobs_server(fn))
+        assert status == 400
+        assert body["error"].startswith("axes.mini_batch:")
+
+    def test_submit_unknown_axis_400(self):
+        def fn(port, host):
+            return _post(port, "/v1/jobs",
+                         _submit_wire(axes={"warp_speed": [9]}))
+
+        status, body = run(_with_jobs_server(fn))
+        assert status == 400
+        assert "warp_speed" in body["error"]
+
+    def test_bad_json_400(self):
+        def fn(port, host):
+            return _post(port, "/v1/jobs", "{nope")
+
+        status, body = run(_with_jobs_server(fn))
+        assert status == 400
+        assert "not valid JSON" in body["error"]
+
+    def test_unknown_job_404(self):
+        def fn(port, host):
+            return _get(port, "/v1/jobs/job-404")
+
+        status, body = run(_with_jobs_server(fn))
+        assert status == 404
+        assert "job-404" in body["error"]
+
+    def test_unknown_lease_404(self):
+        def fn(port, host):
+            return _post(port, "/v1/lease/lease-404/heartbeat",
+                         {"schema": 1})
+
+        status, body = run(_with_jobs_server(fn))
+        assert status == 404
+
+    def test_lease_grant_and_all_done_protocol(self):
+        def fn(port, host):
+            empty = _post(port, "/v1/lease",
+                          {"schema": 1, "worker": "w1"})
+            _post(port, "/v1/jobs", _submit_wire())
+            grant = _post(port, "/v1/lease",
+                          {"schema": 1, "worker": "w1", "max_points": 4})
+            drained = _post(port, "/v1/lease",
+                            {"schema": 1, "worker": "w2"})
+            return empty, grant, drained
+
+        (st_e, empty), (st_g, grant), (st_d, drained) = run(
+            _with_jobs_server(fn))
+        assert st_e == st_g == st_d == 200
+        # no jobs yet: not all_done — a worker must keep polling
+        assert empty == {"schema": 1, "lease": None, "all_done": False}
+        lease = api.LeaseGrant.from_wire(grant["lease"])
+        assert lease.worker == "w1" and len(lease.points) == 4
+        # the whole grid is leased out; nothing to grant, not done
+        assert drained["lease"] is None and drained["all_done"] is False
+
+    def test_lease_validation_400(self):
+        def fn(port, host):
+            return (_post(port, "/v1/lease", {"schema": 1}),
+                    _post(port, "/v1/lease",
+                          {"schema": 1, "worker": "w", "max_points": 0}),
+                    _post(port, "/v1/lease",
+                          {"schema": 1, "worker": "w", "extra": 1}))
+
+        (s1, b1), (s2, b2), (s3, b3) = run(_with_jobs_server(fn))
+        assert s1 == 400 and b1["error"].startswith("worker:")
+        assert s2 == 400 and b2["error"].startswith("max_points:")
+        assert s3 == 400 and "unknown lease request key" in b3["error"]
+
+    def test_expired_heartbeat_409_and_stats(self):
+        clock = _Clock()
+
+        def fn(port, host):
+            _post(port, "/v1/jobs", _submit_wire())
+            _, grant = _post(port, "/v1/lease",
+                             {"schema": 1, "worker": "w1"})
+            lease_id = grant["lease"]["lease_id"]
+            ok = _post(port, f"/v1/lease/{lease_id}/heartbeat",
+                       {"schema": 1})
+            clock.t += 31.0
+            expired = _post(port, f"/v1/lease/{lease_id}/heartbeat",
+                            {"schema": 1})
+            stats = _get(port, "/v1/stats")
+            return ok, expired, stats
+
+        (st_ok, _), (st_exp, body), (st_st, stats) = run(
+            _with_jobs_server(fn, clock=clock))
+        assert st_ok == 200
+        assert st_exp == 409
+        assert "expired" in body["error"]
+        assert st_st == 200
+        assert stats["jobs"]["leases_expired"] == 1
+        assert stats["jobs"]["leases_granted"] == 1
+
+    def test_manifest_key_mismatch_409(self):
+        def fn(port, host):
+            _post(port, "/v1/jobs", _submit_wire())
+            _, grant = _post(port, "/v1/lease",
+                             {"schema": 1, "worker": "w1"})
+            lease_id = grant["lease"]["lease_id"]
+            index = grant["lease"]["points"][0]["index"]
+            return _post(
+                port, f"/v1/lease/{lease_id}/complete",
+                {"schema": 1, "index": index,
+                 "manifest": {"spec": "fig3", "key": "f" * 24}},
+            )
+
+        status, body = run(_with_jobs_server(fn))
+        assert status == 409
+        assert "out of sync" in body["error"]
+
+    def test_jobs_disabled_404(self):
+        async def go():
+            server = Server(ScheduleEngine(workers=0))  # no JobHost
+            await server.start()
+            loop = asyncio.get_running_loop()
+            try:
+                return await loop.run_in_executor(
+                    None, _get, server.port, "/v1/jobs")
+            finally:
+                await server.aclose()
+
+        status, body = run(go())
+        assert status == 404
+        assert "not enabled" in body["error"]
+
+    def test_coordinator_cache_pre_completes_swept_points(self, tmp_path):
+        # a grid already swept into the coordinator's cache needs no
+        # worker at all: the job is born done, manifests downloadable
+        cache_dir = tmp_path / "coord-cache"
+        assert main(["sweep", "fig3", *GRID_SETS, "--quick",
+                     "--cache-dir", str(cache_dir)]) == 0
+
+        def fn(port, host):
+            st, job = _post(port, "/v1/jobs", _submit_wire())
+            assert st == 200
+            return job, _get(port, f"/v1/jobs/{job['job_id']}/manifests")
+
+        job, (st_m, dump) = run(
+            _with_jobs_server(fn, cache=ResultCache(cache_dir)))
+        assert job["state"] == "done"
+        assert job["done"] == 4
+        assert st_m == 200
+        assert len(dump["manifests"]) == 4
+        assert all(m["spec"] == "fig3" for m in dump["manifests"])
+
+
+# ---------------------------------------------------------------------------
+# worker loop + CLI (in-process coordinator, threaded)
+# ---------------------------------------------------------------------------
+
+class _LiveCoordinator:
+    """Coordinator stack on a private event loop in a daemon thread."""
+
+    def __init__(self, cache_dir=None, *, lease_timeout_s=30.0,
+                 max_attempts=3):
+        self.loop = asyncio.new_event_loop()
+        self.server = None
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+
+            async def boot():
+                host = JobHost(
+                    JobQueue(lease_timeout_s=lease_timeout_s,
+                             max_attempts=max_attempts),
+                    cache=ResultCache(cache_dir) if cache_dir else None,
+                )
+                self.server = Server(ScheduleEngine(workers=0), jobs=host)
+                await self.server.start()
+                started.set()
+
+            self.loop.run_until_complete(boot())
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        if not started.wait(timeout=30):
+            raise RuntimeError("coordinator failed to start")
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self.server.port}"
+
+    def close(self):
+        asyncio.run_coroutine_threadsafe(
+            self.server.aclose(), self.loop).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+
+
+class TestWorkerAndCli:
+    def test_submit_work_dump_matches_single_process_reference(
+            self, tmp_path, capsys):
+        ref = tmp_path / "ref"
+        assert main(["sweep", "fig3", *GRID_SETS, "--quick",
+                     "--cache-dir", str(tmp_path / "ref-cache"),
+                     "--out", str(ref)]) == 0
+
+        coord = _LiveCoordinator(tmp_path / "coord-cache")
+        try:
+            assert main(["submit-sweep", "fig3", *GRID_SETS, "--quick",
+                         "--coordinator", coord.url]) == 0
+            assert main(["work", "--coordinator", coord.url,
+                         "--jobs", "1", "--batch", "2", "--poll", "0.05",
+                         "--cache-dir", str(tmp_path / "worker-cache"),
+                         ]) == 0
+            out = capsys.readouterr().out
+            assert "[running]" in out
+            assert "lease lease-1" in out
+            assert "[    ran] fig3:" in out
+            dump = tmp_path / "dump"
+            assert main(["submit-sweep", "fig3", *GRID_SETS, "--quick",
+                         "--coordinator", coord.url, "--wait",
+                         "--poll", "0.05", "--out", str(dump)]) == 0
+            out = capsys.readouterr().out
+            # second submission pre-completes from the coordinator cache
+            assert "[done] 4/4 done" in out
+        finally:
+            coord.close()
+
+        merged = tmp_path / "merged"
+        assert main(["merge", str(dump), "--out", str(merged),
+                     "--check", str(ref)]) == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_submit_sweep_rejection_exits_1(self, tmp_path, capsys):
+        coord = _LiveCoordinator()
+        try:
+            assert main(["submit-sweep", "nope",
+                         "--coordinator", coord.url]) == 1
+            err = capsys.readouterr().err
+            assert "400" in err and "artifact:" in err
+            assert main(["submit-sweep", "fig3", "--set", "warp=1",
+                         "--coordinator", coord.url]) == 1
+            assert "warp" in capsys.readouterr().err
+        finally:
+            coord.close()
+
+    def test_submit_sweep_unreachable_coordinator_exits_1(self, capsys):
+        assert main(["submit-sweep", "fig3",
+                     "--coordinator", "http://127.0.0.1:9"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_worker_tolerates_lease_lost_to_expiry(self, tmp_path):
+        # lease expires while the worker stalls; the re-leased points
+        # are finished by a second worker, and the first worker's late
+        # uploads are either accepted (idempotent) or logged+dropped —
+        # never a crash, and every point ends done exactly once
+        coord = _LiveCoordinator(tmp_path / "cache", lease_timeout_s=0.2)
+        logs = []
+        try:
+            client = CoordinatorClient(coord.url)
+            status = client.submit(api.SweepJobRequest(
+                artifact="fig3", axes=GRID_AXES, quick=True))
+            slow = threading.Thread(target=work_loop, args=(client,), kwargs={
+                "worker": "slow", "batch": 4, "stall_s": 1.0,
+                "max_leases": 1, "poll_s": 0.05,
+                "cache": ResultCache(tmp_path / "slow-cache"),
+                "log": logs.append,
+            })
+            slow.start()
+            time.sleep(0.5)  # slow's lease is now expired
+            work_loop(client, worker="fast", batch=4, poll_s=0.05,
+                      cache=ResultCache(tmp_path / "fast-cache"),
+                      log=logs.append)
+            slow.join(timeout=120)
+            assert not slow.is_alive()
+            final = client.job(status.job_id)
+            assert final.state == "done"
+            assert final.done == 4
+        finally:
+            coord.close()
+
+
+# ---------------------------------------------------------------------------
+# acceptance: 2 workers over a live socket, one SIGKILLed mid-lease
+# ---------------------------------------------------------------------------
+
+def _spawn_worker(url, tmp_path, name, *extra):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.runner", "work",
+         "--coordinator", url, "--worker-id", name, "--poll", "0.1",
+         "--cache-dir", str(tmp_path / f"{name}-cache"), *extra],
+        env=env, cwd=tmp_path,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+class TestKillMatrix:
+    def test_worker_killed_mid_lease_run_is_byte_identical(
+            self, tmp_path, capsys):
+        ref = tmp_path / "ref"
+        assert main(["sweep", "fig3", *GRID_SETS, "--quick",
+                     "--cache-dir", str(tmp_path / "ref-cache"),
+                     "--out", str(ref)]) == 0
+        capsys.readouterr()
+
+        coord = _LiveCoordinator(tmp_path / "coord-cache",
+                                 lease_timeout_s=1.0)
+        victim = survivor = None
+        try:
+            client = CoordinatorClient(coord.url)
+            status = client.submit(api.SweepJobRequest(
+                artifact="fig3", axes=GRID_AXES, quick=True))
+
+            # worker A leases the whole grid, then stalls inside the
+            # lease (before any heartbeat); we SIGKILL it there
+            victim = _spawn_worker(coord.url, tmp_path, "victim",
+                                   "--batch", "4", "--stall", "120")
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                if client.job(status.job_id).leased > 0:
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("victim never leased anything")
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+
+            # worker B drains the re-queued points after lease expiry
+            survivor = _spawn_worker(coord.url, tmp_path, "survivor",
+                                     "--batch", "2", "--jobs", "2")
+            out, _ = survivor.communicate(timeout=240)
+            assert survivor.returncode == 0, out
+            assert "survivor:" in out
+
+            final = client.job(status.job_id)
+            assert final.state == "done"
+            assert final.done == 4 and final.poisoned == 0
+
+            _, stats = _get(coord.server.port, "/v1/stats")
+            assert stats["jobs"]["leases_expired"] >= 1
+            assert stats["jobs"]["points_completed"] == 4
+
+            dump = tmp_path / "dump"
+            assert main(["submit-sweep", "fig3", *GRID_SETS, "--quick",
+                         "--coordinator", coord.url, "--wait",
+                         "--poll", "0.05", "--out", str(dump)]) == 0
+        finally:
+            for proc in (victim, survivor):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=30)
+            coord.close()
+
+        merged = tmp_path / "merged"
+        assert main(["merge", str(dump), "--out", str(merged),
+                     "--check", str(ref)]) == 0
+        out = capsys.readouterr().out
+        assert "4 manifest(s) byte-identical" in out
+        assert len(list(merged.glob("*.json"))) == 4
