@@ -24,6 +24,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.runtime.cache import spec_fingerprint, task_key
+from repro.runtime.journal import Journal
 from repro.runtime.queue import JobQueue
 from repro.runtime.spec import ExperimentSpec, expand_grid, register
 from repro.serve import JobHost, ScheduleEngine, Server
@@ -75,6 +76,34 @@ def test_bench_queue_lease_grant(benchmark):
 
     benchmark.pedantic(cycle, rounds=200, iterations=1)
     assert queue.points_completed >= 200
+
+
+def test_bench_queue_lease_grant_journaled(benchmark, tmp_path):
+    """The same cycle with ``--state-dir`` durability turned on.
+
+    Each lease and complete now appends an fsync'd journal line before
+    it is acknowledged — this case prices that overhead (the gap to
+    ``lease_grant`` is the durability tax) and gates it from silently
+    growing.  ``snapshot_every`` is raised past the ~400 events a run
+    records so no compaction (a full 4096-point state dump) lands
+    inside a measured cycle.
+    """
+    journal = Journal(tmp_path / "state", snapshot_every=1_000_000)
+    queue = JobQueue(lease_timeout_s=3600.0, journal=journal)
+    job = queue.submit(SPEC, _grid(4096))
+    manifests = {p.index: _manifest(p.params, p.key) for p in job.points}
+
+    def cycle():
+        granted = queue.lease("bench-worker")
+        assert granted is not None
+        _, lease, points = granted
+        queue.complete(lease.lease_id, points[0].index,
+                       manifests[points[0].index])
+
+    benchmark.pedantic(cycle, rounds=200, iterations=1)
+    assert queue.points_completed >= 200
+    assert journal.events_recorded >= 400  # every cycle hit the disk
+    journal.close()
 
 
 class _LiveCoordinator:

@@ -255,6 +255,7 @@ def _serve_command(rest: list[str]) -> int:
     """Run the scheduling-as-a-service HTTP server until interrupted."""
     import asyncio
 
+    from repro.runtime.journal import JournalError
     from repro.serve import run_server
 
     parser = argparse.ArgumentParser(
@@ -263,7 +264,7 @@ def _serve_command(rest: list[str]) -> int:
               "[--timeout S] [--max-pending N] [--cache-dir DIR] "
               "[--no-cache] [--cache-max-entries N] "
               "[--cache-max-bytes B] [--lease-timeout S] "
-              "[--max-attempts N]",
+              "[--max-attempts N] [--state-dir DIR]",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8787)
@@ -279,6 +280,8 @@ def _serve_command(rest: list[str]) -> int:
     # work-queue defaults for hosted sweep jobs (/v1/jobs)
     parser.add_argument("--lease-timeout", type=float, default=60.0)
     parser.add_argument("--max-attempts", type=int, default=3)
+    # journal + snapshots: a restart on the same dir resumes the queue
+    parser.add_argument("--state-dir", default=None)
     try:
         args = parser.parse_args(rest)
     except SystemExit:
@@ -304,7 +307,11 @@ def _serve_command(rest: list[str]) -> int:
             cache_max_bytes=args.cache_max_bytes or None,
             lease_timeout_s=args.lease_timeout,
             max_attempts=args.max_attempts,
+            state_dir=args.state_dir,
         ))
+    except JournalError as exc:
+        print(f"serve: cannot restore state: {exc}", file=sys.stderr)
+        return 1
     except KeyboardInterrupt:
         print("\nserve: interrupted, shutting down")
     return 0
@@ -361,7 +368,11 @@ def _submit_sweep_command(rest: list[str]) -> int:
         max_attempts=args.max_attempts,
         lease_timeout_s=args.lease_timeout,
     )
-    client = CoordinatorClient(args.coordinator)
+    try:
+        client = CoordinatorClient(args.coordinator)
+    except ValueError as exc:
+        print(f"submit-sweep: {exc}", file=sys.stderr)
+        return 2
     try:
         status = client.submit(request)
     except CoordinatorError as exc:
@@ -400,7 +411,8 @@ def _work_command(rest: list[str]) -> int:
         prog="mbs-repro work", add_help=False,
         usage="mbs-repro work --coordinator URL [--jobs N] [--batch M] "
               "[--poll S] [--cache-dir DIR] [--no-cache] "
-              "[--worker-id ID] [--timeout S] [--max-leases N]",
+              "[--worker-id ID] [--timeout S] [--max-leases N] "
+              "[--reconnect S]",
     )
     parser.add_argument("--coordinator", default="http://127.0.0.1:8787")
     parser.add_argument("--jobs", type=int, default=1)
@@ -414,6 +426,9 @@ def _work_command(rest: list[str]) -> int:
     # computing (the kill tests use it to die while holding a lease)
     parser.add_argument("--stall", type=float, default=0.0)
     parser.add_argument("--max-leases", type=int, default=None)
+    # how long the coordinator may stay unreachable before the worker
+    # gives up (a bounce within this budget looks like a slow poll)
+    parser.add_argument("--reconnect", type=float, default=60.0)
     try:
         args = parser.parse_args(rest)
     except SystemExit:
@@ -421,7 +436,14 @@ def _work_command(rest: list[str]) -> int:
     if args.jobs < 1 or (args.batch is not None and args.batch < 1):
         print("work: --jobs and --batch must be >= 1", file=sys.stderr)
         return 2
-    client = CoordinatorClient(args.coordinator)
+    if args.reconnect < 0:
+        print("work: --reconnect must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        client = CoordinatorClient(args.coordinator)
+    except ValueError as exc:
+        print(f"work: {exc}", file=sys.stderr)
+        return 2
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     try:
         work_loop(
@@ -435,6 +457,7 @@ def _work_command(rest: list[str]) -> int:
             timeout_s=args.timeout,
             stall_s=args.stall,
             max_leases=args.max_leases,
+            reconnect_s=args.reconnect,
         )
     except KeyboardInterrupt:
         print("\nwork: interrupted", file=sys.stderr)

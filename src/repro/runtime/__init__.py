@@ -17,6 +17,9 @@ schedulable units:
 - :mod:`repro.runtime.queue` — coordinator-side work queue for
   distributed sweeps: leases, bounded retries, poison-point
   quarantine, manifest-key validation.
+- :mod:`repro.runtime.journal` — fsync'd event log + compacted
+  snapshots behind ``serve --state-dir``: a restarted coordinator
+  replays it to resume half-drained jobs.
 
 The ``mbs-repro`` CLI (:mod:`repro.experiments.runner`) is a thin shell
 over these pieces; future scaling work (sharded sweeps, multi-backend,
@@ -33,6 +36,7 @@ from repro.runtime.cache import (
     task_key,
 )
 from repro.runtime.deps import ImportGraph
+from repro.runtime.journal import Journal, JournalError
 from repro.runtime.pool import Task, TaskResult, WorkerPool, run_tasks
 from repro.runtime.queue import (
     JobQueue,
@@ -57,6 +61,8 @@ __all__ = [
     "ExperimentSpec",
     "ImportGraph",
     "JobQueue",
+    "Journal",
+    "JournalError",
     "Lease",
     "QueueError",
     "ResultCache",

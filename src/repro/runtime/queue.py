@@ -27,7 +27,17 @@ have produced are ever accepted.
 Completion is idempotent and never discards valid work: a manifest
 arriving after its lease expired (slow worker, network partition that
 healed) is still accepted if the point is not yet done and the key
-matches.
+matches — until the job is terminal, at which moment the job's leases
+are pruned (the coordinator would otherwise retain every lease ever
+granted).
+
+With a :class:`~repro.runtime.journal.Journal` attached, every state
+transition is appended to an fsync'd event log *before* it is
+acknowledged, and :meth:`JobQueue.restore` rebuilds the exact queue —
+pending/leased/done/poisoned, attempt counts, quarantine — from the
+snapshot + log after a coordinator crash.  Leases outstanding at crash
+time are conservatively expired on restore, so their points re-queue
+under the normal retry budget.
 """
 from __future__ import annotations
 
@@ -36,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.runtime.cache import task_key
+from repro.runtime.serialize import jsonify
 from repro.runtime.spec import ExperimentSpec
 
 PENDING = "pending"
@@ -114,6 +125,9 @@ class SweepJob:
     points: list[SweepPoint]
     max_attempts: int
     lease_timeout_s: float
+    #: points not yet DONE/POISONED — kept incrementally so the
+    #: terminal check on the complete/fail hot path is O(1)
+    open_points: int = 0
 
     def counts(self) -> dict[str, int]:
         c = {PENDING: 0, LEASED: 0, DONE: 0, POISONED: 0}
@@ -136,6 +150,12 @@ class JobQueue:
     deadlines live on its timeline.  The queue itself is not locked —
     the serve layer calls it from a single event loop, and unit tests
     are single-threaded.
+
+    ``journal`` (a :class:`~repro.runtime.journal.Journal`) makes the
+    queue durable: every mutation is appended to the event log before
+    the call returns, and the journal is compacted into a snapshot
+    every ``journal.snapshot_every`` events.  :meth:`restore` is the
+    other half — rebuild a queue from a state dir after a crash.
     """
 
     def __init__(
@@ -144,6 +164,7 @@ class JobQueue:
         clock: Callable[[], float] = time.monotonic,
         lease_timeout_s: float = 60.0,
         max_attempts: int = 3,
+        journal=None,
     ):
         if lease_timeout_s <= 0:
             raise ValueError(
@@ -158,6 +179,7 @@ class JobQueue:
         self.clock = clock
         self.lease_timeout_s = lease_timeout_s
         self.max_attempts = max_attempts
+        self.journal = journal
         self.jobs: dict[str, SweepJob] = {}
         self.leases: dict[str, Lease] = {}
         self._job_seq = 0
@@ -192,7 +214,26 @@ class JobQueue:
         the caller pre-complete points whose manifests it already holds
         (a cache hit): it receives the resolved point and returns the
         manifest or ``None``.
+
+        Per-job ``lease_timeout_s`` / ``max_attempts`` default to the
+        queue-wide values when ``None`` and are validated like the
+        constructor's otherwise — an explicit ``0`` is an error, not a
+        silent fall-through to the default.
         """
+        if lease_timeout_s is None:
+            lease_timeout_s = self.lease_timeout_s
+        elif lease_timeout_s <= 0:
+            raise ValueError(
+                f"lease_timeout_s: expected a positive number or None "
+                f"(inherit the queue default), got {lease_timeout_s!r}"
+            )
+        if max_attempts is None:
+            max_attempts = self.max_attempts
+        elif max_attempts < 1:
+            raise ValueError(
+                f"max_attempts: expected a positive integer or None "
+                f"(inherit the queue default), got {max_attempts!r}"
+            )
         self._job_seq += 1
         job_id = f"job-{self._job_seq}"
         points = []
@@ -211,8 +252,9 @@ class JobQueue:
             spec=spec,
             quick=quick,
             points=points,
-            max_attempts=max_attempts or self.max_attempts,
-            lease_timeout_s=lease_timeout_s or self.lease_timeout_s,
+            max_attempts=max_attempts,
+            lease_timeout_s=lease_timeout_s,
+            open_points=len(points),
         )
         self.jobs[job_id] = job
         if already_done is not None:
@@ -220,7 +262,23 @@ class JobQueue:
                 manifest = already_done(point)
                 if manifest is not None and manifest.get("key") == point.key:
                     point.state = DONE
+                    job.open_points -= 1
                     self.points_completed += 1
+        self._emit({
+            "e": "submit",
+            "job_id": job.job_id,
+            "spec": spec.name,
+            "quick": quick,
+            "max_attempts": job.max_attempts,
+            "lease_timeout_s": job.lease_timeout_s,
+            "points": [
+                {"index": p.index, "overrides": jsonify(p.overrides),
+                 "params": jsonify(p.params), "key": p.key,
+                 "state": p.state}
+                for p in job.points
+            ],
+        })
+        self._maybe_compact()
         return job
 
     def job(self, job_id: str) -> SweepJob:
@@ -238,7 +296,7 @@ class JobQueue:
         yet), so a worker started before the submission waits.
         """
         return bool(self.jobs) and all(
-            j.state != "running" for j in self.jobs.values()
+            j.open_points == 0 for j in self.jobs.values()
         )
 
     # -- leasing -----------------------------------------------------
@@ -285,6 +343,15 @@ class JobQueue:
                 point.attempts += 1
             self.leases[lease.lease_id] = lease
             self.leases_granted += 1
+            self._emit({
+                "e": "lease",
+                "lease_id": lease.lease_id,
+                "job_id": job.job_id,
+                "worker": worker,
+                "indexes": list(lease.indexes),
+                "lease_timeout_s": job.lease_timeout_s,
+            })
+            self._maybe_compact()
             return job, lease, batch
         return None
 
@@ -308,28 +375,38 @@ class JobQueue:
                 f"lease {lease_id!r} expired; its points were re-queued"
             )
         lease.deadline = self.clock() + lease.lease_timeout_s
+        self._emit({"e": "heartbeat", "lease_id": lease_id})
+        self._maybe_compact()
         return lease.deadline
 
     def expire(self) -> int:
         """Reap overdue leases, re-queueing or poisoning their points."""
         now = self.clock()
-        reaped = 0
+        reaped = []
         for lease in self.leases.values():
             if not lease.alive or lease.deadline > now:
                 continue
             lease.alive = False
             self.leases_expired += 1
-            reaped += 1
-            job = self.jobs[lease.job_id]
-            for index in lease.indexes:
-                point = job.points[index]
-                if point.state == LEASED and point.lease_id == lease.lease_id:
-                    self._requeue_or_poison(
-                        job, point,
-                        f"lease {lease.lease_id} expired "
-                        f"(worker {lease.worker})",
-                    )
-        return reaped
+            reaped.append(lease)
+            self._void_lease_points(lease)
+            self._emit({"e": "expire", "lease_id": lease.lease_id})
+        for lease in reaped:
+            self._prune_if_terminal(self.jobs[lease.job_id])
+        self._maybe_compact()
+        return len(reaped)
+
+    def _void_lease_points(self, lease: Lease) -> None:
+        """Re-queue (or poison) the unfinished points of a dead lease."""
+        job = self.jobs[lease.job_id]
+        for index in lease.indexes:
+            point = job.points[index]
+            if point.state == LEASED and point.lease_id == lease.lease_id:
+                self._requeue_or_poison(
+                    job, point,
+                    f"lease {lease.lease_id} expired "
+                    f"(worker {lease.worker})",
+                )
 
     def _requeue_or_poison(
         self, job: SweepJob, point: SweepPoint, error: str
@@ -338,9 +415,24 @@ class JobQueue:
         point.error = error
         if point.attempts >= job.max_attempts:
             point.state = POISONED
+            job.open_points -= 1
             self.points_poisoned += 1
         else:
             point.state = PENDING
+
+    def _prune_if_terminal(self, job: SweepJob) -> None:
+        """Drop a terminal job's leases (late completes now 404).
+
+        Until the job is terminal every lease — even an expired one —
+        is retained so a slow worker's late ``complete`` still lands;
+        once nothing in the job can change, keeping them is a leak.
+        """
+        if job.open_points:
+            return
+        stale = [lease_id for lease_id, lease in self.leases.items()
+                 if lease.job_id == job.job_id]
+        for lease_id in stale:
+            del self.leases[lease_id]
 
     # -- completion --------------------------------------------------
 
@@ -368,11 +460,16 @@ class JobQueue:
                 f"with the coordinator"
             )
         if point.state != DONE:
+            if point.state != POISONED:
+                job.open_points -= 1
             point.state = DONE
             point.lease_id = None
             point.error = None
             self.points_completed += 1
         lease.done.add(index)
+        self._emit({"e": "complete", "lease_id": lease_id, "index": index})
+        self._prune_if_terminal(job)
+        self._maybe_compact()
         return point
 
     def fail(self, lease_id: str, index: int, error: str) -> SweepPoint:
@@ -384,6 +481,10 @@ class JobQueue:
         if point.state == LEASED and point.lease_id == lease_id:
             self.points_failed += 1
             self._requeue_or_poison(job, point, error)
+            self._emit({"e": "fail", "lease_id": lease_id, "index": index,
+                        "error": error})
+            self._prune_if_terminal(job)
+            self._maybe_compact()
         return point
 
     def _point(self, job: SweepJob, lease: Lease, index: int) -> SweepPoint:
@@ -399,6 +500,7 @@ class JobQueue:
     def stats(self) -> dict[str, int]:
         return {
             "jobs": len(self.jobs),
+            "leases_live": len(self.leases),
             "leases_granted": self.leases_granted,
             "leases_expired": self.leases_expired,
             "points_completed": self.points_completed,
@@ -406,3 +508,299 @@ class JobQueue:
             "points_poisoned": self.points_poisoned,
             "manifests_rejected": self.manifests_rejected,
         }
+
+    # -- durability --------------------------------------------------
+
+    _COUNTERS = ("leases_granted", "leases_expired", "points_completed",
+                 "points_failed", "points_poisoned", "manifests_rejected")
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        if self.journal is not None:
+            self.journal.record(event)
+
+    def _maybe_compact(self) -> None:
+        """Fold the journal into a snapshot once it has grown enough.
+
+        Called at the *end* of each public mutator, never from
+        :meth:`_emit`: a snapshot taken mid-operation (events recorded
+        but pruning not yet run) would capture a state replay can never
+        reach, because replay applies each event atomically.
+        """
+        if self.journal is not None and self.journal.compaction_due:
+            self.journal.compact(self.dump_state())
+
+    def dump_state(self) -> dict[str, Any]:
+        """Full JSON-able queue state (the journal's snapshot payload).
+
+        Lease deadlines are stored as ``remaining_s`` relative to this
+        queue's clock, so the dump carries no absolute timestamps.
+        """
+        now = self.clock()
+        return {
+            "job_seq": self._job_seq,
+            "lease_seq": self._lease_seq,
+            "counters": {name: getattr(self, name)
+                         for name in self._COUNTERS},
+            "jobs": [
+                {
+                    "job_id": job.job_id,
+                    "spec": job.spec.name,
+                    "quick": job.quick,
+                    "max_attempts": job.max_attempts,
+                    "lease_timeout_s": job.lease_timeout_s,
+                    "points": [
+                        {"index": p.index,
+                         "overrides": jsonify(p.overrides),
+                         "params": jsonify(p.params),
+                         "key": p.key, "state": p.state,
+                         "attempts": p.attempts,
+                         "lease_id": p.lease_id, "error": p.error}
+                        for p in job.points
+                    ],
+                }
+                for job in self.jobs.values()
+            ],
+            "leases": [
+                {
+                    "lease_id": lease.lease_id,
+                    "job_id": lease.job_id,
+                    "worker": lease.worker,
+                    "indexes": list(lease.indexes),
+                    "remaining_s": lease.deadline - now,
+                    "lease_timeout_s": lease.lease_timeout_s,
+                    "alive": lease.alive,
+                    "done": sorted(lease.done),
+                }
+                for lease in self.leases.values()
+            ],
+        }
+
+    def _load_state(
+        self,
+        state: Mapping[str, Any],
+        specs: Callable[[str], ExperimentSpec],
+    ) -> None:
+        now = self.clock()
+        self._job_seq = state["job_seq"]
+        self._lease_seq = state["lease_seq"]
+        for name in self._COUNTERS:
+            setattr(self, name, state["counters"][name])
+        for blob in state["jobs"]:
+            points = [
+                SweepPoint(
+                    index=p["index"], overrides=dict(p["overrides"]),
+                    params=dict(p["params"]), key=p["key"],
+                    state=p["state"], attempts=p["attempts"],
+                    lease_id=p["lease_id"], error=p["error"],
+                )
+                for p in blob["points"]
+            ]
+            job = SweepJob(
+                job_id=blob["job_id"],
+                spec=self._spec_for(blob["spec"], specs),
+                quick=blob["quick"],
+                points=points,
+                max_attempts=blob["max_attempts"],
+                lease_timeout_s=blob["lease_timeout_s"],
+                open_points=sum(p.state in (PENDING, LEASED)
+                                for p in points),
+            )
+            self.jobs[job.job_id] = job
+        for blob in state["leases"]:
+            lease = Lease(
+                lease_id=blob["lease_id"], job_id=blob["job_id"],
+                worker=blob["worker"], indexes=tuple(blob["indexes"]),
+                deadline=now + blob["remaining_s"],
+                lease_timeout_s=blob["lease_timeout_s"],
+                alive=blob["alive"], done=set(blob["done"]),
+            )
+            self.leases[lease.lease_id] = lease
+
+    @staticmethod
+    def _spec_for(
+        name: str, specs: Callable[[str], ExperimentSpec]
+    ) -> ExperimentSpec:
+        try:
+            return specs(name)
+        except KeyError:
+            raise ValueError(
+                f"journaled state references experiment spec {name!r}, "
+                f"which this build does not register — the state dir "
+                f"was written by different code"
+            ) from None
+
+    def _apply_event(
+        self,
+        event: Mapping[str, Any],
+        specs: Callable[[str], ExperimentSpec],
+    ) -> None:
+        """Replay one journal event.
+
+        Events record the queue's *decisions* (who leased what, which
+        completes were first), so replay is pure bookkeeping — no
+        clocks, no manifest re-validation — and deterministic by
+        construction: the same event sequence always rebuilds the same
+        state, which :meth:`dump_state` equality locks in the tests.
+        """
+        kind = event.get("e")
+        if kind == "submit":
+            points = [
+                SweepPoint(
+                    index=p["index"], overrides=dict(p["overrides"]),
+                    params=dict(p["params"]), key=p["key"],
+                    state=p["state"],
+                )
+                for p in event["points"]
+            ]
+            job = SweepJob(
+                job_id=event["job_id"],
+                spec=self._spec_for(event["spec"], specs),
+                quick=event["quick"],
+                points=points,
+                max_attempts=event["max_attempts"],
+                lease_timeout_s=event["lease_timeout_s"],
+                open_points=sum(p.state in (PENDING, LEASED)
+                                for p in points),
+            )
+            self.jobs[job.job_id] = job
+            self.points_completed += sum(p.state == DONE for p in points)
+            self._job_seq = max(self._job_seq,
+                                _trailing_int(job.job_id))
+        elif kind == "lease":
+            job = self.jobs[event["job_id"]]
+            lease = Lease(
+                lease_id=event["lease_id"], job_id=event["job_id"],
+                worker=event["worker"],
+                indexes=tuple(event["indexes"]),
+                deadline=self.clock() + event["lease_timeout_s"],
+                lease_timeout_s=event["lease_timeout_s"],
+            )
+            for index in lease.indexes:
+                point = job.points[index]
+                point.state = LEASED
+                point.lease_id = lease.lease_id
+                point.attempts += 1
+            self.leases[lease.lease_id] = lease
+            self.leases_granted += 1
+            self._lease_seq = max(self._lease_seq,
+                                  _trailing_int(lease.lease_id))
+        elif kind == "heartbeat":
+            lease = self.leases[event["lease_id"]]
+            if lease.alive:
+                lease.deadline = self.clock() + lease.lease_timeout_s
+        elif kind == "complete":
+            lease = self.leases[event["lease_id"]]
+            job = self.jobs[lease.job_id]
+            point = job.points[event["index"]]
+            if point.state != DONE:
+                if point.state != POISONED:
+                    job.open_points -= 1
+                point.state = DONE
+                point.lease_id = None
+                point.error = None
+                self.points_completed += 1
+            lease.done.add(event["index"])
+            self._prune_if_terminal(job)
+        elif kind == "fail":
+            lease = self.leases[event["lease_id"]]
+            job = self.jobs[lease.job_id]
+            point = job.points[event["index"]]
+            if point.state == LEASED and point.lease_id == lease.lease_id:
+                self.points_failed += 1
+                self._requeue_or_poison(job, point, event["error"])
+                self._prune_if_terminal(job)
+        elif kind == "expire":
+            # Live code reaps a batch of overdue leases and prunes
+            # after the whole batch; replay prunes per event, so a
+            # later event in the batch may name a lease pruning already
+            # dropped.  Its voiding was a no-op (all points finished —
+            # that's what made the job terminal), so only the counter
+            # still applies.
+            self.leases_expired += 1
+            lease = self.leases.get(event["lease_id"])
+            if lease is not None:
+                lease.alive = False
+                self._void_lease_points(lease)
+                self._prune_if_terminal(self.jobs[lease.job_id])
+        else:
+            raise ValueError(f"unknown journal event kind {kind!r}")
+
+    def _expire_outstanding(self, reason: str) -> int:
+        """Void every live lease (conservative post-restore policy).
+
+        The restored deadlines cannot be trusted — the coordinator may
+        have been down for longer than any lease timeout, and the
+        workers holding them may be gone.  Voiding re-queues their
+        unfinished points under the normal retry budget; a worker that
+        is in fact still alive simply re-leases (or lands its finished
+        points via the late-complete path, since the dead lease objects
+        are retained until the job is terminal).
+        """
+        voided = []
+        for lease in self.leases.values():
+            if not lease.alive:
+                continue
+            lease.alive = False
+            self.leases_expired += 1
+            voided.append(lease)
+            job = self.jobs[lease.job_id]
+            for index in lease.indexes:
+                point = job.points[index]
+                if point.state == LEASED \
+                        and point.lease_id == lease.lease_id:
+                    self._requeue_or_poison(
+                        job, point,
+                        f"lease {lease.lease_id} "
+                        f"(worker {lease.worker}) voided: {reason}",
+                    )
+        for lease in voided:
+            self._prune_if_terminal(self.jobs[lease.job_id])
+        return len(voided)
+
+    @classmethod
+    def restore(
+        cls,
+        journal,
+        *,
+        specs: Callable[[str], ExperimentSpec],
+        clock: Callable[[], float] = time.monotonic,
+        lease_timeout_s: float = 60.0,
+        max_attempts: int = 3,
+        expire_outstanding: bool = True,
+        compact: bool = True,
+    ) -> "JobQueue":
+        """Rebuild a queue from a state dir and attach the journal.
+
+        Loads the snapshot, replays the journal tail, conservatively
+        expires leases that were outstanding at crash time
+        (``expire_outstanding``), then compacts the reconstructed state
+        into a fresh snapshot so the next restart starts from it.  A
+        fresh state dir yields an empty queue — ``restore`` doubles as
+        "open or create".
+
+        ``specs`` resolves a spec name to its registered
+        :class:`~repro.runtime.spec.ExperimentSpec` (usually
+        :func:`repro.runtime.spec.get_spec`); journaled state naming a
+        spec this build does not register fails loudly.
+        """
+        state, events = journal.load()
+        queue = cls(clock=clock, lease_timeout_s=lease_timeout_s,
+                    max_attempts=max_attempts)
+        if state is not None:
+            queue._load_state(state, specs)
+        for event in events:
+            queue._apply_event(event, specs)
+        if expire_outstanding:
+            queue._expire_outstanding("coordinator restart")
+        queue.journal = journal
+        if compact:
+            journal.compact(queue.dump_state())
+        return queue
+
+
+def _trailing_int(ident: str) -> int:
+    """The numeric tail of a ``job-N`` / ``lease-N`` id (0 if none)."""
+    try:
+        return int(ident.rsplit("-", 1)[-1])
+    except ValueError:
+        return 0

@@ -340,18 +340,40 @@ async def run_server(
     cache_max_bytes: int | None = None,
     lease_timeout_s: float = 60.0,
     max_attempts: int = 3,
+    state_dir: str | None = None,
 ) -> None:
-    """Entry point behind ``mbs-repro serve``: run until cancelled."""
+    """Entry point behind ``mbs-repro serve``: run until cancelled.
+
+    ``state_dir`` makes the work queue durable: every queue mutation
+    is journaled there before it is acknowledged, and a restart on the
+    same directory restores half-drained jobs (outstanding leases are
+    conservatively expired so their points re-queue).
+    """
     from repro.runtime.queue import JobQueue
 
+    # restore (or create) the queue before anything that owns
+    # resources: an unreadable state dir must fail fast and clean
+    if state_dir is not None:
+        import repro.experiments  # noqa: F401  (populates the registry)
+        from repro.runtime.journal import Journal
+        from repro.runtime.spec import get_spec
+
+        queue = JobQueue.restore(
+            Journal(state_dir), specs=get_spec,
+            lease_timeout_s=lease_timeout_s, max_attempts=max_attempts,
+        )
+        if queue.jobs:
+            running = sum(j.open_points > 0 for j in queue.jobs.values())
+            print(f"mbs-repro serve: restored {len(queue.jobs)} job(s) "
+                  f"({running} still running) from {state_dir}")
+    else:
+        queue = JobQueue(lease_timeout_s=lease_timeout_s,
+                         max_attempts=max_attempts)
     engine = ScheduleEngine(cache=cache, workers=workers,
                             timeout_s=timeout_s, max_pending=max_pending,
                             cache_max_entries=cache_max_entries,
                             cache_max_bytes=cache_max_bytes)
-    jobs = JobHost(
-        JobQueue(lease_timeout_s=lease_timeout_s, max_attempts=max_attempts),
-        cache=cache,
-    )
+    jobs = JobHost(queue, cache=cache)
     server = Server(engine, host=host, port=port, jobs=jobs)
     await server.start()
     print(f"mbs-repro serve: listening on http://{server.host}:{server.port}")
@@ -364,3 +386,5 @@ async def run_server(
         pass
     finally:
         await server.aclose()
+        if queue.journal is not None:
+            queue.journal.close()

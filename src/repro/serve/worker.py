@@ -19,6 +19,14 @@ expired and the point was re-queued or poisoned, or our code is
 version-skewed and the manifest's content address is wrong.  Either
 way the worker logs it and keeps draining; it never crashes on a
 coordinator-side decision.
+
+Transient trouble — a connection refused while the coordinator
+restarts, a 5xx, a socket reset mid-upload — is retried with bounded
+exponential backoff everywhere it can strand work: lease polling
+(so a coordinator bounce looks like a slow poll, not a crash),
+manifest uploads (one blip must not drop a whole computed batch), and
+the heartbeat thread (which only gives up on a 4xx telling it the
+lease is gone, or after several consecutive failures).
 """
 from __future__ import annotations
 
@@ -50,6 +58,46 @@ class CoordinatorError(Exception):
         self.status = status
 
 
+def _is_transient(exc: BaseException) -> bool:
+    """True for failures a retry can plausibly fix.
+
+    Network-level trouble (``OSError`` covers refused connections,
+    resets, timeouts) and coordinator 5xx are transient; any 4xx is a
+    protocol verdict — retrying the same request cannot change it.
+    """
+    if isinstance(exc, CoordinatorError):
+        return exc.status >= 500
+    return isinstance(exc, OSError)
+
+
+def _with_retries(
+    fn: Callable[[], Any],
+    *,
+    what: str,
+    tries: int = 4,
+    first_delay_s: float = 0.1,
+    sleep: Callable[[float], None] = time.sleep,
+    log: Callable[[str], None] | None = None,
+) -> Any:
+    """Call ``fn``, retrying transient failures with doubling backoff.
+
+    Non-transient errors (and the final transient one) propagate to
+    the caller, which owns the "declare it dropped" decision.
+    """
+    delay = first_delay_s
+    for attempt in range(1, tries + 1):
+        try:
+            return fn()
+        except (OSError, CoordinatorError) as exc:
+            if not _is_transient(exc) or attempt == tries:
+                raise
+            if log is not None:
+                log(f"{what}: transient error ({exc}); "
+                    f"retry {attempt}/{tries - 1} in {delay:.1f}s")
+            sleep(delay)
+            delay *= 2
+
+
 class CoordinatorClient:
     """Blocking JSON client for the coordinator's job/lease surface.
 
@@ -59,15 +107,33 @@ class CoordinatorClient:
     """
 
     def __init__(self, base_url: str, *, timeout_s: float = 10.0):
-        parts = urllib.parse.urlsplit(base_url)
-        if parts.scheme not in ("http", ""):
+        url = base_url if "//" in base_url else f"http://{base_url}"
+        try:
+            parts = urllib.parse.urlsplit(url)
+        except ValueError as exc:
+            raise ValueError(
+                f"coordinator: invalid URL {base_url!r}: {exc}"
+            ) from None
+        if parts.scheme != "http":
             raise ValueError(
                 f"coordinator: expected an http:// URL, got {base_url!r}"
             )
-        netloc = parts.netloc or parts.path  # tolerate "host:port"
-        host, _, port = netloc.partition(":")
-        self.host = host or "127.0.0.1"
-        self.port = int(port) if port else 8787
+        if parts.path not in ("", "/") or parts.query or parts.fragment:
+            raise ValueError(
+                f"coordinator: URL {base_url!r} carries a path/query the "
+                f"client does not support; give the server root, e.g. "
+                f"http://host:8787"
+            )
+        try:
+            port = parts.port  # urlsplit validates the port lazily
+        except ValueError:
+            raise ValueError(
+                f"coordinator: URL {base_url!r} has an invalid port"
+            ) from None
+        # urlsplit handles bracketed IPv6 literals ("[::1]:8787")
+        # correctly, which a naive netloc.partition(":") does not
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = port if port is not None else 8787
         self.timeout_s = timeout_s
 
     def _request(self, method: str, path: str,
@@ -152,13 +218,23 @@ class CoordinatorClient:
 
 
 class _Heartbeat:
-    """Daemon thread extending one lease while its batch computes."""
+    """Daemon thread extending one lease while its batch computes.
+
+    A network blip or a coordinator 5xx must not silently stop the
+    beat — the lease would expire under a perfectly healthy worker —
+    so transient failures are tolerated up to ``max_failures``
+    consecutive misses (by which point the lease has almost certainly
+    expired anyway).  A 4xx (404 unknown, 409 expired) is the
+    coordinator telling us the lease is gone: stop immediately and let
+    the uploads surface the real story.
+    """
 
     def __init__(self, client: CoordinatorClient, lease_id: str,
-                 interval_s: float):
+                 interval_s: float, *, max_failures: int = 5):
         self._client = client
         self._lease_id = lease_id
         self._interval_s = interval_s
+        self._max_failures = max_failures
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
@@ -171,13 +247,17 @@ class _Heartbeat:
         self._thread.join(timeout=self._interval_s + 1.0)
 
     def _run(self) -> None:
+        failures = 0
         while not self._stop.wait(self._interval_s):
             try:
                 self._client.heartbeat(self._lease_id)
-            except (OSError, CoordinatorError):
-                # An expired/unknown lease (409/404) or a network blip:
-                # uploads will surface the real story; stop beating.
-                return
+                failures = 0
+            except (OSError, CoordinatorError) as exc:
+                if not _is_transient(exc):
+                    return  # 404/409: the lease is gone for good
+                failures += 1
+                if failures >= self._max_failures:
+                    return
 
 
 def work_loop(
@@ -192,6 +272,7 @@ def work_loop(
     timeout_s: float | None = None,
     stall_s: float = 0.0,
     max_leases: int | None = None,
+    reconnect_s: float = 60.0,
     log: Callable[[str], None] = print,
 ) -> int:
     """Drain the coordinator; returns the number of points uploaded.
@@ -201,14 +282,39 @@ def work_loop(
     *before* computing — a fault-injection hook the kill tests use to
     hold a lease open while the worker dies.  ``max_leases`` bounds
     the number of grants (None = until every job is terminal).
+
+    ``reconnect_s`` is the unreachable-coordinator budget: lease polls
+    that fail transiently (connection refused while the coordinator
+    restarts, 5xx) are retried with backoff until the coordinator has
+    been continuously unreachable for this long — a bounce therefore
+    looks like a slow poll.  Set it to 0 to fail on the first error.
     """
     worker = worker or default_worker_id()
     uploaded = 0
     granted = 0
+    down_since: float | None = None
+    retry_delay = max(poll_s, 0.05)
     while max_leases is None or granted < max_leases:
-        grant, all_done = client.lease(
-            worker, max_points=batch if batch is not None else max(jobs, 1)
-        )
+        try:
+            grant, all_done = client.lease(
+                worker,
+                max_points=batch if batch is not None else max(jobs, 1),
+            )
+        except (OSError, CoordinatorError) as exc:
+            now = time.monotonic()
+            if not _is_transient(exc):
+                raise
+            if down_since is None:
+                down_since = now
+            if now - down_since >= reconnect_s:
+                raise
+            log(f"{worker}: coordinator unreachable ({exc}); "
+                f"retrying in {retry_delay:.1f}s")
+            time.sleep(retry_delay)
+            retry_delay = min(retry_delay * 2, 10.0)
+            continue
+        down_since = None
+        retry_delay = max(poll_s, 0.05)
         if grant is None:
             if all_done:
                 break
@@ -234,21 +340,36 @@ def work_loop(
             index = _index_of[id(task)]
             status = result.status
             try:
+                # Transient network/5xx trouble is retried with backoff
+                # before the point is declared dropped: one blip must
+                # not strand a whole computed batch.
                 if result.ok:
-                    client.complete(_lease_id, index, result.manifest)
+                    _with_retries(
+                        lambda: client.complete(
+                            _lease_id, index, result.manifest),
+                        what=f"{worker}: upload point {index}", log=log,
+                    )
                     _uploads["n"] += 1
                 else:
-                    client.fail(
-                        _lease_id, index,
-                        result.error or f"task {status} with no detail",
+                    _with_retries(
+                        lambda: client.fail(
+                            _lease_id, index,
+                            result.error or f"task {status} with no detail",
+                        ),
+                        what=f"{worker}: report point {index}", log=log,
                     )
                     status = "failed"
             except CoordinatorError as exc:
                 # 409: the lease expired under us or our code is
-                # version-skewed; 404: the coordinator restarted.
+                # version-skewed; 404: the coordinator restarted (or
+                # pruned the lease with the job already terminal).
                 # Either way this point is no longer ours to report.
                 status = "dropped"
                 log(f"{worker}: point {index} not accepted: {exc}")
+            except OSError as exc:
+                status = "dropped"
+                log(f"{worker}: point {index} not uploaded after "
+                    f"retries: {exc}")
             log(format_point_line(result.spec_name, task.overrides, status))
 
         with _Heartbeat(client, grant.lease_id,

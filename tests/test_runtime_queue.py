@@ -280,9 +280,11 @@ class TestComplete:
         assert queue.all_terminal
 
     def test_complete_is_idempotent(self):
+        # two-point job: the job stays running after the first complete,
+        # so the lease is retained and the duplicate short-circuits
         queue, _ = make_queue()
-        queue.submit(SPEC, GRID[:1])
-        _, lease, points = queue.lease("w1")
+        queue.submit(SPEC, GRID[:2])
+        _, lease, points = queue.lease("w1", max_points=1)
         queue.complete(lease.lease_id, 0, manifest_for(points[0]))
         queue.complete(lease.lease_id, 0, manifest_for(points[0]))
         assert queue.points_completed == 1
@@ -325,6 +327,109 @@ class TestComplete:
             queue.complete(lease.lease_id, 3, manifest_for(points[0]))
 
 
+class TestSubmitOverrideValidation:
+    def test_none_means_inherit(self):
+        queue, _ = make_queue(lease_timeout_s=42.0, max_attempts=7)
+        job = queue.submit(SPEC, GRID, lease_timeout_s=None,
+                           max_attempts=None)
+        assert job.lease_timeout_s == 42.0
+        assert job.max_attempts == 7
+
+    @pytest.mark.parametrize("bad", [0, 0.0, -1.0])
+    def test_zero_or_negative_lease_timeout_rejected(self, bad):
+        # `or`-style defaulting used to coerce 0 to the queue default
+        # and accept negatives the constructor would reject
+        queue, _ = make_queue()
+        with pytest.raises(ValueError, match="lease_timeout_s"):
+            queue.submit(SPEC, GRID, lease_timeout_s=bad)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_non_positive_max_attempts_rejected(self, bad):
+        queue, _ = make_queue()
+        with pytest.raises(ValueError, match="max_attempts"):
+            queue.submit(SPEC, GRID, max_attempts=bad)
+
+    def test_explicit_overrides_still_apply(self):
+        queue, _ = make_queue()
+        job = queue.submit(SPEC, GRID, lease_timeout_s=5.0,
+                           max_attempts=1)
+        assert job.lease_timeout_s == 5.0
+        assert job.max_attempts == 1
+
+
+class TestLeasePruning:
+    """Terminal jobs must not pin their leases forever (the old leak)."""
+
+    def test_leases_pruned_when_job_completes(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID)
+        _, lease, points = queue.lease("w1", max_points=4)
+        for point in points:
+            queue.complete(lease.lease_id, point.index,
+                           manifest_for(point))
+        assert queue.leases == {}
+        assert queue.stats()["leases_live"] == 0
+
+    def test_expired_lease_retained_while_job_running(self):
+        # the late-complete path needs the dead lease object — it must
+        # survive expiry until the job is terminal
+        queue, clock = make_queue(lease_timeout_s=10.0)
+        queue.submit(SPEC, GRID)
+        _, lease, points = queue.lease("w1", max_points=2)
+        clock.advance(11.0)
+        queue.expire()
+        assert lease.lease_id in queue.leases
+        assert not queue.leases[lease.lease_id].alive
+        # late complete via the dead lease still lands
+        done = queue.complete(lease.lease_id, 0, manifest_for(points[0]))
+        assert done.state == DONE
+
+    def test_dead_leases_dropped_at_job_terminal(self):
+        queue, clock = make_queue(lease_timeout_s=10.0, max_attempts=3)
+        queue.submit(SPEC, GRID)
+        # burn a lease per expiry cycle, then drain with a final one
+        _, stale, _ = queue.lease("w1", max_points=4)
+        clock.advance(11.0)
+        queue.expire()
+        _, fresh, points = queue.lease("w2", max_points=4)
+        assert stale.lease_id in queue.leases  # still running: retained
+        for point in points:
+            queue.complete(fresh.lease_id, point.index,
+                           manifest_for(point))
+        assert queue.leases == {}  # terminal: stale + fresh both pruned
+
+    def test_late_complete_after_terminal_is_unknown_lease(self):
+        queue, _ = make_queue()
+        queue.submit(SPEC, GRID[:1])
+        _, lease, points = queue.lease("w1")
+        queue.complete(lease.lease_id, 0, manifest_for(points[0]))
+        with pytest.raises(UnknownLease):
+            queue.complete(lease.lease_id, 0, manifest_for(points[0]))
+
+    def test_poisoned_job_prunes_leases_too(self):
+        queue, clock = make_queue(lease_timeout_s=10.0, max_attempts=1)
+        job = queue.submit(SPEC, GRID[:1])
+        queue.lease("w1")
+        clock.advance(11.0)
+        queue.expire()
+        assert job.points[0].state == POISONED
+        assert queue.leases == {}
+
+    def test_long_lived_queue_lease_count_stays_bounded(self):
+        # the regression the satellite fix targets: many jobs drained
+        # over one coordinator lifetime must not accumulate leases
+        queue, _ = make_queue()
+        for start in range(0, 4, 2):
+            queue.submit(SPEC, GRID[start:start + 2])
+        while (granted := queue.lease("w", max_points=1)) is not None:
+            _, lease, points = granted
+            queue.complete(lease.lease_id, points[0].index,
+                           manifest_for(points[0]))
+        assert queue.all_terminal
+        assert queue.stats()["leases_live"] == 0
+        assert queue.leases_granted == 4
+
+
 class TestTerminalStates:
     def test_empty_queue_is_not_terminal(self):
         queue, _ = make_queue()
@@ -335,9 +440,10 @@ class TestTerminalStates:
         queue.submit(SPEC, GRID)
         stats = queue.stats()
         assert stats == {
-            "jobs": 1, "leases_granted": 0, "leases_expired": 0,
-            "points_completed": 0, "points_failed": 0,
-            "points_poisoned": 0, "manifests_rejected": 0,
+            "jobs": 1, "leases_live": 0, "leases_granted": 0,
+            "leases_expired": 0, "points_completed": 0,
+            "points_failed": 0, "points_poisoned": 0,
+            "manifests_rejected": 0,
         }
 
 

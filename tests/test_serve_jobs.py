@@ -28,7 +28,9 @@ import pytest
 from repro import api
 from repro.experiments.runner import main
 from repro.runtime.cache import ResultCache
+from repro.runtime.pool import Task, run_tasks
 from repro.runtime.queue import JobQueue
+from repro.runtime.spec import get_spec
 from repro.serve import (
     CoordinatorClient,
     CoordinatorError,
@@ -37,6 +39,7 @@ from repro.serve import (
     Server,
     work_loop,
 )
+from repro.serve.worker import _Heartbeat, _is_transient, _with_retries
 
 GRID_SETS = ["--set", "net_name='resnet50'", "--set", "mini_batch=16,32",
              "--set", "buffer_mib=5,10"]
@@ -381,6 +384,135 @@ class TestJobsHttp:
 
 
 # ---------------------------------------------------------------------------
+# client URL parsing + retry plumbing (no sockets)
+# ---------------------------------------------------------------------------
+
+class TestCoordinatorClientUrl:
+    @pytest.mark.parametrize("url,host,port", [
+        ("http://127.0.0.1:8787", "127.0.0.1", 8787),
+        ("127.0.0.1:9090", "127.0.0.1", 9090),  # scheme optional
+        ("http://example.com", "example.com", 8787),  # default port
+        ("http://example.com/", "example.com", 8787),
+        # bracketed IPv6 literal: a naive netloc.partition(":") would
+        # yield host "[" and a garbage port
+        ("http://[::1]:8787", "::1", 8787),
+        ("[::1]:9090", "::1", 9090),
+    ])
+    def test_accepted_urls(self, url, host, port):
+        client = CoordinatorClient(url)
+        assert (client.host, client.port) == (host, port)
+
+    def test_path_rejected_loudly(self):
+        # a path would silently vanish (requests always go to /v1/...)
+        with pytest.raises(ValueError, match="path/query"):
+            CoordinatorClient("http://host:8787/v1/jobs")
+
+    def test_query_rejected_loudly(self):
+        with pytest.raises(ValueError, match="path/query"):
+            CoordinatorClient("http://host:8787?retry=1")
+
+    def test_non_http_scheme_rejected(self):
+        with pytest.raises(ValueError, match="http://"):
+            CoordinatorClient("https://host:8787")
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError, match="invalid port"):
+            CoordinatorClient("http://host:notaport")
+
+
+class TestRetryPlumbing:
+    def test_transient_classification(self):
+        assert _is_transient(ConnectionRefusedError())
+        assert _is_transient(TimeoutError())
+        assert _is_transient(CoordinatorError(503, "busy"))
+        assert not _is_transient(CoordinatorError(409, "expired"))
+        assert not _is_transient(CoordinatorError(404, "unknown"))
+
+    def test_with_retries_recovers_with_doubling_backoff(self):
+        delays = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionResetError("blip")
+            return "ok"
+
+        assert _with_retries(flaky, what="t", sleep=delays.append) == "ok"
+        assert calls["n"] == 3
+        assert delays == [0.1, 0.2]
+
+    def test_with_retries_propagates_non_transient_immediately(self):
+        calls = {"n": 0}
+
+        def conflict():
+            calls["n"] += 1
+            raise CoordinatorError(409, "expired")
+
+        with pytest.raises(CoordinatorError):
+            _with_retries(conflict, what="t", sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_with_retries_gives_up_after_budget(self):
+        calls = {"n": 0}
+
+        def dead():
+            calls["n"] += 1
+            raise ConnectionRefusedError("down")
+
+        with pytest.raises(OSError):
+            _with_retries(dead, what="t", tries=3, sleep=lambda _: None)
+        assert calls["n"] == 3
+
+
+class _StubHeartbeatClient:
+    """Scripted ``heartbeat`` endpoint: raise each queued exception,
+    then succeed (setting ``recovered``) forever."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = 0
+        self.recovered = threading.Event()
+
+    def heartbeat(self, lease_id):
+        self.calls += 1
+        if self.script:
+            raise self.script.pop(0)
+        self.recovered.set()
+
+
+class TestHeartbeatResilience:
+    def test_survives_transient_blips(self):
+        # the old loop returned on the first exception, silently
+        # letting a healthy worker's lease expire under it
+        client = _StubHeartbeatClient([
+            ConnectionResetError("blip"),
+            CoordinatorError(503, "restarting"),
+        ])
+        with _Heartbeat(client, "lease-1", interval_s=0.01):
+            assert client.recovered.wait(timeout=30)
+        assert client.calls >= 3
+
+    def test_stops_on_protocol_verdict(self):
+        client = _StubHeartbeatClient([CoordinatorError(409, "expired")])
+        hb = _Heartbeat(client, "lease-1", interval_s=0.01)
+        with hb:
+            hb._thread.join(timeout=30)
+            assert not hb._thread.is_alive()
+        assert client.calls == 1
+
+    def test_gives_up_after_consecutive_failures(self):
+        client = _StubHeartbeatClient(
+            [ConnectionResetError("down")] * 100)
+        hb = _Heartbeat(client, "lease-1", interval_s=0.01,
+                        max_failures=3)
+        with hb:
+            hb._thread.join(timeout=30)
+            assert not hb._thread.is_alive()
+        assert client.calls == 3
+
+
+# ---------------------------------------------------------------------------
 # worker loop + CLI (in-process coordinator, threaded)
 # ---------------------------------------------------------------------------
 
@@ -423,6 +555,28 @@ class _LiveCoordinator:
             self.server.aclose(), self.loop).result(timeout=30)
         self.loop.call_soon_threadsafe(self.loop.stop)
         self.thread.join(timeout=30)
+
+
+class _FlakyClient:
+    """Fault-injecting proxy: the first ``budget[name]`` calls to each
+    named method raise a transient network error, then delegate."""
+
+    def __init__(self, inner, budget):
+        self._inner = inner
+        self._budget = dict(budget)
+
+    def __getattr__(self, name):
+        attr = getattr(self._inner, name)
+        if not callable(attr):
+            return attr
+
+        def call(*args, **kwargs):
+            if self._budget.get(name, 0) > 0:
+                self._budget[name] -= 1
+                raise ConnectionResetError(f"injected blip on {name}")
+            return attr(*args, **kwargs)
+
+        return call
 
 
 class TestWorkerAndCli:
@@ -477,6 +631,46 @@ class TestWorkerAndCli:
         assert main(["submit-sweep", "fig3",
                      "--coordinator", "http://127.0.0.1:9"]) == 1
         assert "cannot reach" in capsys.readouterr().err
+
+    def test_worker_drains_through_injected_network_blips(self, tmp_path):
+        # every endpoint the worker touches flakes a few times; the
+        # retry/backoff plumbing must absorb it all — zero dropped
+        # points, zero worker crashes
+        coord = _LiveCoordinator(tmp_path / "cache")
+        logs = []
+        try:
+            inner = CoordinatorClient(coord.url)
+            status = inner.submit(api.SweepJobRequest(
+                artifact="fig3", axes=GRID_AXES, quick=True))
+            # budgets stay under each path's retry allowance: 3
+            # consecutive complete blips fit the upload's 4 tries
+            flaky = _FlakyClient(inner, {
+                "lease": 2,  # coordinator "bounces" during polling
+                "complete": 3,
+                "heartbeat": 1,
+            })
+            uploaded = work_loop(
+                flaky, worker="flaky", batch=1, poll_s=0.05,
+                cache=ResultCache(tmp_path / "worker-cache"),
+                reconnect_s=60.0, log=logs.append,
+            )
+            assert uploaded == 4
+            final = inner.job(status.job_id)
+            assert final.state == "done" and final.done == 4
+            text = "\n".join(logs)
+            assert "coordinator unreachable" in text
+            assert "transient error" in text
+            assert "dropped" not in text
+        finally:
+            coord.close()
+
+    def test_worker_gives_up_past_reconnect_budget(self, tmp_path):
+        # nobody listening on port 9: every lease poll is refused, and
+        # with a zero budget the first refusal is fatal
+        client = CoordinatorClient("http://127.0.0.1:9")
+        with pytest.raises(OSError):
+            work_loop(client, worker="w", poll_s=0.05, reconnect_s=0.0,
+                      log=lambda _line: None)
 
     def test_worker_tolerates_lease_lost_to_expiry(self, tmp_path):
         # lease expires while the worker stalls; the re-leased points
@@ -589,3 +783,141 @@ class TestKillMatrix:
         out = capsys.readouterr().out
         assert "4 manifest(s) byte-identical" in out
         assert len(list(merged.glob("*.json"))) == 4
+
+
+# ---------------------------------------------------------------------------
+# acceptance: the *coordinator* SIGKILLed mid-drain, restarted on the
+# same --state-dir, must resume the half-drained job byte-identically
+# ---------------------------------------------------------------------------
+
+def _spawn_coordinator(tmp_path, state_dir, cache_dir, port=0):
+    """``mbs-repro serve`` as a subprocess; returns (proc, lines, url).
+
+    ``lines`` keeps accumulating in the background, so later output
+    (e.g. the restore banner) can be asserted on after the fact.
+    """
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.experiments.runner", "serve",
+         "--host", "127.0.0.1", "--port", str(port),
+         "--state-dir", str(state_dir), "--cache-dir", str(cache_dir)],
+        env=env, cwd=tmp_path,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    lines = []
+
+    def pump():
+        for line in proc.stdout:
+            lines.append(line)
+
+    threading.Thread(target=pump, daemon=True).start()
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        for line in list(lines):
+            if "listening on http://" in line:
+                return proc, lines, line.split("listening on ")[1].strip()
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"coordinator exited {proc.returncode}: {''.join(lines)}")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError(f"coordinator never came up: {''.join(lines)}")
+
+
+class TestCoordinatorKillMatrix:
+    def test_coordinator_sigkilled_mid_drain_resumes_byte_identical(
+            self, tmp_path, capsys):
+        ref = tmp_path / "ref"
+        assert main(["sweep", "fig3", *GRID_SETS, "--quick",
+                     "--cache-dir", str(tmp_path / "ref-cache"),
+                     "--out", str(ref)]) == 0
+        capsys.readouterr()
+
+        state_dir = tmp_path / "state"
+        cache_dir = tmp_path / "coord-cache"
+        first = second = worker = None
+        try:
+            first, _, url = _spawn_coordinator(tmp_path, state_dir,
+                                               cache_dir)
+            port = int(url.rsplit(":", 1)[1])
+            client = CoordinatorClient(url)
+            status = client.submit(api.SweepJobRequest(
+                artifact="fig3", axes=GRID_AXES, quick=True))
+
+            # half-drain by hand: lease 2 points, upload only the first,
+            # leaving the lease (and its second point) in flight
+            grant, _ = client.lease("pre-crash", max_points=2)
+            assert grant is not None and len(grant.points) == 2
+            results = []
+            run_tasks(
+                [Task(get_spec("fig3"),
+                      dict(grant.points[0]["overrides"]), quick=True)],
+                jobs=1, cache=ResultCache(tmp_path / "pre-crash-cache"),
+                on_result=lambda _t, r: results.append(r),
+            )
+            client.complete(grant.lease_id, grant.points[0]["index"],
+                            results[0].manifest)
+            assert client.job(status.job_id).done == 1
+
+            first.send_signal(signal.SIGKILL)
+            first.wait(timeout=30)
+            assert (state_dir / "journal.jsonl").exists()
+
+            # a worker started against the dead coordinator must treat
+            # the outage as a slow poll, not a crash
+            worker = _spawn_worker(url, tmp_path, "survivor",
+                                   "--batch", "2", "--reconnect", "60")
+            time.sleep(0.5)  # let it hit connection-refused at least once
+
+            second, lines, url2 = _spawn_coordinator(
+                tmp_path, state_dir, cache_dir, port=port)
+            assert url2 == url
+            out, _ = worker.communicate(timeout=240)
+            assert worker.returncode == 0, out
+            assert "coordinator unreachable" in out
+            assert "".join(lines).count("restored 1 job(s) "
+                                        "(1 still running)") == 1
+
+            # zero lost attempts: the restore snapshot carries per-point
+            # attempt counts — the voided lease's points kept theirs
+            snap = json.loads((state_dir / "snapshot.json").read_text())
+            assert any(
+                point["attempts"] >= 1
+                for job in snap["state"]["jobs"]
+                for point in job["points"]
+            )
+
+            final = client.job(status.job_id)
+            assert final.state == "done"
+            assert final.done == 4 and final.poisoned == 0
+
+            _, stats = _get(port, "/v1/stats")
+            assert stats["jobs"]["leases_expired"] >= 1
+            assert stats["jobs"]["points_completed"] == 4
+            assert stats["jobs"]["leases_live"] == 0
+
+            dump = tmp_path / "dump"
+            assert main(["submit-sweep", "fig3", *GRID_SETS, "--quick",
+                         "--coordinator", url, "--wait",
+                         "--poll", "0.05", "--out", str(dump)]) == 0
+        finally:
+            for proc in (worker, first, second):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=30)
+
+        merged = tmp_path / "merged"
+        assert main(["merge", str(dump), "--out", str(merged),
+                     "--check", str(ref)]) == 0
+        out = capsys.readouterr().out
+        assert "4 manifest(s) byte-identical" in out
+
+    def test_serve_refuses_corrupt_state_dir(self, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        (state_dir / "snapshot.json").write_text("{nope")
+        assert main(["serve", "--state-dir", str(state_dir)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot restore state" in err
